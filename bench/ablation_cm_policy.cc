@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Conflict-management policy ablation (the interplay study the paper
+ * lists as future work, Section 9): FlexTM's eager mode under three
+ * contention managers - Polka (the paper's choice), Aggressive
+ * (always abort the enemy), and Timid (always abort self) - on a
+ * scalable and a non-scalable workload.
+ *
+ * Expected: Polka dominates or ties everywhere (that is why the
+ * paper uses it); Aggressive causes mutual-abort livelock energy on
+ * contended workloads; Timid wastes the attacker's investment and
+ * collapses under contention.  The point of the exercise is the
+ * FlexTM thesis itself: all three run on identical hardware - the
+ * policy is a software swap.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flextm;
+using namespace flextm::bench;
+
+int
+main()
+{
+    std::printf("Conflict-management policy ablation "
+                "(FlexTM eager)\n");
+
+    for (WorkloadKind wk :
+         {WorkloadKind::RBTree, WorkloadKind::LFUCache,
+          WorkloadKind::RandomGraph}) {
+        printHeader(workloadKindName(wk),
+                    {"Polka", "Aggressive", "Timid", "Polka-ab",
+                     "Aggr-ab", "Timid-ab"});
+        for (unsigned threads : {1u, 4u, 8u, 16u}) {
+            std::vector<double> row;
+            std::vector<double> aborts;
+            for (CmPolicy p :
+                 {CmPolicy::Polka, CmPolicy::Aggressive,
+                  CmPolicy::Timid}) {
+                const ExperimentResult r = avgExperiment(
+                    wk, RuntimeKind::FlexTmEager, threads, p);
+                row.push_back(r.throughput);
+                aborts.push_back(static_cast<double>(r.aborts));
+            }
+            row.insert(row.end(), aborts.begin(), aborts.end());
+            printRow(threads, row);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Section 7.3 overflow study: the cost of the overflow-table (OT)
+ * redo-log path relative to an ideal cache with an unbounded victim
+ * buffer (where TMI lines are never evicted).
+ *
+ * The paper reports that with overflow, redo-logging costs an
+ * average of ~7% and a maximum of ~13% (RandomGraph), mainly because
+ * restarting transactions queue behind the committed transaction's
+ * copy-back; workloads that do not overflow see no slow-down.
+ *
+ * Two parts:
+ *  1. the paper's workloads (write sets of a handful of lines -
+ *     set-conflict overflows only, mostly absorbed by the victim
+ *     buffer);
+ *  2. a write-set sweep that forces progressively deeper overflow,
+ *     showing spills/refills/NACKs and the throughput delta.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flextm;
+using namespace flextm::bench;
+
+namespace
+{
+
+struct OverflowStats
+{
+    double throughput = 0;
+    std::uint64_t spills = 0;
+    std::uint64_t refills = 0;
+    std::uint64_t nacks = 0;
+};
+
+/** Threads repeatedly commit transactions writing `lines_per_tx`
+ *  distinct lines of a private region. */
+OverflowStats
+bigWriteRun(unsigned threads, unsigned lines_per_tx, bool unbounded)
+{
+    MachineConfig cfg;
+    cfg.cores = 16;
+    cfg.memoryBytes = 256u << 20;
+    cfg.unboundedVictimBuffer = unbounded;
+    Machine m(cfg);
+    RuntimeFactory f(m, RuntimeKind::FlexTmLazy);
+
+    constexpr unsigned txns_per_thread = 40;
+    constexpr unsigned region_lines = 4096;
+
+    std::vector<std::unique_ptr<TxThread>> ts;
+    for (unsigned i = 0; i < threads; ++i) {
+        ts.push_back(f.makeThread(i, i));
+        TxThread *t = ts.back().get();
+        const Addr region = m.memory().allocate(
+            std::size_t{region_lines} * lineBytes, lineBytes);
+        m.scheduler().spawn(i, [t, region, lines_per_tx] {
+            for (unsigned k = 0; k < txns_per_thread; ++k) {
+                t->txn([&] {
+                    for (unsigned w = 0; w < lines_per_tx; ++w) {
+                        const Addr a =
+                            region +
+                            std::size_t{t->rng().nextInt(
+                                region_lines)} *
+                                lineBytes;
+                        const auto v = t->load<std::uint64_t>(a);
+                        t->store<std::uint64_t>(a, v + 1);
+                    }
+                });
+            }
+        });
+    }
+    const Cycles cyc = m.run();
+
+    OverflowStats s;
+    s.throughput = static_cast<double>(threads) * txns_per_thread *
+                   1e6 / static_cast<double>(cyc);
+    s.spills = m.stats().counterValue("ot.spills");
+    s.refills = m.stats().counterValue("ot.refills");
+    s.nacks = m.stats().counterValue("ot.nacks");
+    return s;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Overflow ablation (Section 7.3): OT redo-log vs "
+                "unbounded victim buffer\n");
+
+    std::printf("\nPart 1: paper workloads (FlexTM lazy, 8 threads, "
+                "mean of 3 seeds)\n");
+    std::printf("%-14s %12s %12s %10s %10s\n", "workload", "OT-thr",
+                "ideal-thr", "slowdown", "spills");
+    for (WorkloadKind wk :
+         {WorkloadKind::HashTable, WorkloadKind::RBTree,
+          WorkloadKind::RandomGraph, WorkloadKind::VacationHigh}) {
+        double ot_thr = 0, ideal_thr = 0;
+        std::uint64_t spills = 0;
+        const unsigned seeds = 3;
+        for (unsigned s = 1; s <= seeds; ++s) {
+            ExperimentOptions o = defaultOptions(wk, 8, s);
+            const ExperimentResult ot =
+                runExperiment(wk, RuntimeKind::FlexTmLazy, o);
+            o.machine.unboundedVictimBuffer = true;
+            const ExperimentResult ideal =
+                runExperiment(wk, RuntimeKind::FlexTmLazy, o);
+            ot_thr += ot.throughput / seeds;
+            ideal_thr += ideal.throughput / seeds;
+            spills += ot.otSpills;
+        }
+        std::printf("%-14s %12.1f %12.1f %9.1f%% %10llu\n",
+                    workloadKindName(wk), ot_thr, ideal_thr,
+                    100.0 * (ideal_thr - ot_thr) / ideal_thr,
+                    static_cast<unsigned long long>(spills));
+    }
+
+    std::printf("\nPart 2: forced overflow, write-set sweep "
+                "(8 threads)\n");
+    std::printf("%8s %12s %12s %10s %10s %10s %10s\n", "lines/tx",
+                "OT-thr", "ideal-thr", "slowdown", "spills",
+                "refills", "nacks");
+    for (unsigned lines : {16u, 64u, 128u, 256u, 512u}) {
+        const OverflowStats ot = bigWriteRun(8, lines, false);
+        const OverflowStats ideal = bigWriteRun(8, lines, true);
+        std::printf("%8u %12.2f %12.2f %9.1f%% %10llu %10llu "
+                    "%10llu\n",
+                    lines, ot.throughput, ideal.throughput,
+                    100.0 * (ideal.throughput - ot.throughput) /
+                        ideal.throughput,
+                    static_cast<unsigned long long>(ot.spills),
+                    static_cast<unsigned long long>(ot.refills),
+                    static_cast<unsigned long long>(ot.nacks));
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Signature-geometry ablation (Section 6 cites Sanchez et al. [31]
+ * on signature sizing; Table 3a uses the 2 Kbit "S14" design).
+ *
+ * Sweeps the per-core signature width on a read-heavy tree workload
+ * and on Vacation-High at 8 threads.  Narrow filters alias more
+ * lines, producing false Threatened / Exposed-Read hints, which show
+ * up as extra aborts and lost throughput; beyond 2 Kbit the returns
+ * flatten - the paper's chosen operating point.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flextm;
+using namespace flextm::bench;
+
+int
+main()
+{
+    std::printf("Signature-width ablation (FlexTM lazy, 8 "
+                "threads)\n");
+
+    for (WorkloadKind wk :
+         {WorkloadKind::RBTree, WorkloadKind::VacationHigh}) {
+        std::printf("\n%s\n", workloadKindName(wk));
+        std::printf("%10s %14s %10s\n", "bits", "throughput",
+                    "aborts");
+        for (unsigned bits : {128u, 256u, 512u, 2048u, 8192u}) {
+            ExperimentResult acc;
+            for (unsigned s = 1; s <= benchSeeds; ++s) {
+                ExperimentOptions o = defaultOptions(wk, 8, s);
+                o.machine.signatureBits = bits;
+                const ExperimentResult r =
+                    runExperiment(wk, RuntimeKind::FlexTmLazy, o);
+                acc.throughput += r.throughput / benchSeeds;
+                acc.aborts += r.aborts;
+            }
+            acc.aborts /= benchSeeds;
+            std::printf("%10u %14.1f %10llu\n", bits, acc.throughput,
+                        static_cast<unsigned long long>(acc.aborts));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 4 (a)-(e): Workload-Set 1 throughput and scalability.
+ *
+ * Normalized throughput (transactions per unit time, relative to
+ * 1-thread CGL) for CGL, FlexTM, RTM-F and RSTM on HashTable,
+ * RBTree, LFUCache, RandomGraph and Delaunay, sweeping 1..16
+ * threads.  All TM systems run eager conflict management with the
+ * Polka manager, as in the paper.
+ *
+ * Expected shapes (Section 7.3): FlexTM > RTM-F > RSTM everywhere,
+ * with roughly 2x / 5x single-thread gaps; HashTable and RBTree
+ * scale, LFUCache and RandomGraph do not; Delaunay tracks CGL for
+ * FlexTM while the object-based systems run at about half
+ * throughput.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flextm;
+using namespace flextm::bench;
+
+int
+main()
+{
+    const std::vector<WorkloadKind> workloads = {
+        WorkloadKind::HashTable, WorkloadKind::RBTree,
+        WorkloadKind::LFUCache, WorkloadKind::RandomGraph,
+        WorkloadKind::Delaunay};
+    const std::vector<RuntimeKind> runtimes = {
+        RuntimeKind::Cgl, RuntimeKind::FlexTmEager, RuntimeKind::RtmF,
+        RuntimeKind::Rstm};
+
+    std::printf("Figure 4(a)-(e): WS1 normalized throughput "
+                "(x 1-thread CGL)\n");
+
+    for (WorkloadKind wk : workloads) {
+        const double base = cglBaseline(wk);
+        printHeader(workloadKindName(wk),
+                    {"CGL", "FlexTM", "RTM-F", "RSTM"});
+        for (unsigned threads : threadSweep) {
+            std::vector<double> row;
+            for (RuntimeKind rk : runtimes) {
+                const ExperimentResult r =
+                    avgExperiment(wk, rk, threads);
+                row.push_back(r.throughput / base);
+            }
+            printRow(threads, row);
+        }
+    }
+
+    // Section 7.3 headline: single-thread speedups of FlexTM over
+    // the software systems.
+    std::printf("\nSingle-thread FlexTM speedups (Section 7.3)\n");
+    std::printf("%-12s %10s %10s\n", "workload", "vs RTM-F",
+                "vs RSTM");
+    for (WorkloadKind wk : workloads) {
+        const double fx =
+            avgExperiment(wk, RuntimeKind::FlexTmEager, 1).throughput;
+        const double rf =
+            avgExperiment(wk, RuntimeKind::RtmF, 1).throughput;
+        const double rs =
+            avgExperiment(wk, RuntimeKind::Rstm, 1).throughput;
+        std::printf("%-12s %9.2fx %9.2fx\n", workloadKindName(wk),
+                    fx / rf, fx / rs);
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 4 (f)-(g): Workload-Set 2 throughput and scalability.
+ *
+ * Vacation in Low and High contention modes on CGL, FlexTM and TL2
+ * (Vacation's word-based accesses are incompatible with the
+ * object-based RSTM/RTM-F APIs, as in the paper).
+ *
+ * Expected shapes: FlexTM ~4x TL2 at one thread; Vacation-Low scales
+ * to ~10x 1-thread CGL at 16 threads, Vacation-High to ~6x.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flextm;
+using namespace flextm::bench;
+
+int
+main()
+{
+    const std::vector<WorkloadKind> workloads = {
+        WorkloadKind::VacationLow, WorkloadKind::VacationHigh};
+    const std::vector<RuntimeKind> runtimes = {
+        RuntimeKind::Cgl, RuntimeKind::FlexTmEager, RuntimeKind::Tl2};
+
+    std::printf("Figure 4(f)-(g): WS2 normalized throughput "
+                "(x 1-thread CGL)\n");
+
+    for (WorkloadKind wk : workloads) {
+        const double base = cglBaseline(wk);
+        printHeader(workloadKindName(wk), {"CGL", "FlexTM", "TL2"});
+        for (unsigned threads : threadSweep) {
+            std::vector<double> row;
+            for (RuntimeKind rk : runtimes) {
+                const ExperimentResult r =
+                    avgExperiment(wk, rk, threads);
+                row.push_back(r.throughput / base);
+            }
+            printRow(threads, row);
+        }
+    }
+
+    std::printf("\nSingle-thread FlexTM speedup over TL2\n");
+    for (WorkloadKind wk : workloads) {
+        const double fx =
+            avgExperiment(wk, RuntimeKind::FlexTmEager, 1).throughput;
+        const double tl =
+            avgExperiment(wk, RuntimeKind::Tl2, 1).throughput;
+        std::printf("%-14s %9.2fx\n", workloadKindName(wk), fx / tl);
+    }
+    return 0;
+}

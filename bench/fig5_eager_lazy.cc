@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 5 (a)-(d): eager vs. lazy conflict management in FlexTM.
+ *
+ * Normalized throughput (x FlexTM-Eager at 1 thread) on RBTree,
+ * Vacation-High, LFUCache and RandomGraph.
+ *
+ * Expected shapes (Section 7.4, Results 2a): Eager and Lazy match at
+ * low thread counts; beyond ~4 threads Lazy scales better on RBTree
+ * and Vacation-High (reader-writer concurrency pays off when readers
+ * commit first); on LFUCache lazy avoids the cascades of futile
+ * stalls; on RandomGraph eager mode livelocks at high thread counts
+ * while lazy stays flat.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flextm;
+using namespace flextm::bench;
+
+int
+main()
+{
+    const std::vector<WorkloadKind> workloads = {
+        WorkloadKind::RBTree, WorkloadKind::VacationHigh,
+        WorkloadKind::LFUCache, WorkloadKind::RandomGraph};
+
+    std::printf("Figure 5(a)-(d): FlexTM eager vs. lazy "
+                "(x Eager 1-thread)\n");
+
+    for (WorkloadKind wk : workloads) {
+        const double base =
+            avgExperiment(wk, RuntimeKind::FlexTmEager, 1).throughput;
+        printHeader(workloadKindName(wk),
+                    {"Eager", "Lazy", "Eager-aborts", "Lazy-aborts"});
+        for (unsigned threads : threadSweep) {
+            const ExperimentResult e =
+                avgExperiment(wk, RuntimeKind::FlexTmEager, threads);
+            const ExperimentResult l =
+                avgExperiment(wk, RuntimeKind::FlexTmLazy, threads);
+            printRow(threads,
+                     {e.throughput / base, l.throughput / base,
+                      static_cast<double>(e.aborts),
+                      static_cast<double>(l.aborts)});
+        }
+    }
+    return 0;
+}

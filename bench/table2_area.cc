@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 2: area estimation of FlexTM's hardware add-ons for three
+ * 65 nm processors, from the calibrated CACTI-lite model
+ * (Section 6).  The published numbers are, for reference:
+ *
+ *                 Merom   Power6   Niagara-2
+ *   signature     0.033    0.066      0.26    mm^2
+ *   CSTs              3        6        24    registers
+ *   OT controller  0.16     0.24     0.035    mm^2
+ *   state bits    2(T,A)  3(T,A,ID) 5(T,A,ID)
+ *   % core         0.6%    0.59%      2.6%
+ *   % L1 D        0.35%    0.29%      3.9%
+ */
+
+#include <cstdio>
+
+#include "core/area_model.hh"
+
+using namespace flextm;
+
+int
+main()
+{
+    AreaModel model(2048);
+    const auto procs = AreaModel::paperProcessors();
+
+    std::printf("Table 2: FlexTM area estimation (CACTI-lite, "
+                "2048-bit signatures)\n\n");
+    std::printf("%-22s", "");
+    for (const auto &p : procs)
+        std::printf(" %12s", p.name.c_str());
+    std::printf("\n");
+
+    std::printf("%-22s", "SMT threads");
+    for (const auto &p : procs)
+        std::printf(" %12u", p.smtThreads);
+    std::printf("\n");
+    std::printf("%-22s", "core (mm^2)");
+    for (const auto &p : procs)
+        std::printf(" %12.1f", p.coreMm2);
+    std::printf("\n");
+    std::printf("%-22s", "L1 D (mm^2)");
+    for (const auto &p : procs)
+        std::printf(" %12.1f", p.l1dMm2);
+    std::printf("\n");
+    std::printf("%-22s", "line size (B)");
+    for (const auto &p : procs)
+        std::printf(" %12u", p.lineBytes);
+    std::printf("\n\n");
+
+    std::vector<AreaEstimate> est;
+    for (const auto &p : procs)
+        est.push_back(model.estimate(p));
+
+    std::printf("%-22s", "Signature (mm^2)");
+    for (const auto &e : est)
+        std::printf(" %12.3f", e.signatureMm2);
+    std::printf("\n");
+    std::printf("%-22s", "CSTs (registers)");
+    for (const auto &e : est)
+        std::printf(" %12u", e.cstRegisters);
+    std::printf("\n");
+    std::printf("%-22s", "OT controller (mm^2)");
+    for (const auto &e : est)
+        std::printf(" %12.3f", e.otControllerMm2);
+    std::printf("\n");
+    std::printf("%-22s", "Extra state bits");
+    for (const auto &e : est)
+        std::printf(" %12u", e.extraStateBits);
+    std::printf("\n");
+    std::printf("%-22s", "% core increase");
+    for (const auto &e : est)
+        std::printf(" %11.2f%%", e.pctCoreIncrease);
+    std::printf("\n");
+    std::printf("%-22s", "% L1 D increase");
+    for (const auto &e : est)
+        std::printf(" %11.2f%%", e.pctL1Increase);
+    std::printf("\n");
+
+    std::printf("\nPaper reference: sig 0.033/0.066/0.26, OT "
+                "0.16/0.24/0.035, core 0.60/0.59/2.60%%, "
+                "L1 0.35/0.29/3.90%%\n");
+    return 0;
+}

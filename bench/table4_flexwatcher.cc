@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 4(b): FlexWatcher vs. software instrumentation slow-downs on
+ * the BugBench-style programs (Section 8).
+ *
+ * Paper reference: FlexWatcher 1.5x / 1.15x / 1.05x / 1.8x / 2.5x,
+ * Discover 75x / 17x / N-A / 65x / N-A; all planted bugs detected.
+ */
+
+#include <cstdio>
+
+#include "debug/bugbench.hh"
+#include "runtime/runtime_factory.hh"
+
+using namespace flextm;
+
+namespace
+{
+
+BugRunResult
+runProgram(BugProgram &prog, MonitorMode mode)
+{
+    MachineConfig cfg;
+    cfg.cores = 2;
+    cfg.memoryBytes = 64u << 20;
+    Machine m(cfg);
+    RuntimeFactory f(m, RuntimeKind::Cgl);
+    auto t = f.makeThread(0, 0);
+    BugRunResult r;
+    m.scheduler().spawn(0,
+                        [&] { r = prog.run(m, *t, mode); });
+    m.run();
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Table 4(b): FlexWatcher vs software "
+                "instrumentation\n\n");
+    std::printf("%-10s %-5s %10s %8s %8s %10s %10s\n", "program",
+                "bug", "base-cyc", "FxW", "Dis", "planted",
+                "detected");
+
+    auto progs = makeBugBench();
+    for (auto &p : progs) {
+        const BugRunResult base = runProgram(*p, MonitorMode::None);
+        const BugRunResult fxw =
+            runProgram(*p, MonitorMode::FlexWatcher);
+        const BugRunResult dis =
+            runProgram(*p, MonitorMode::Discover);
+        std::printf("%-10s %-5s %10llu %7.2fx %7.2fx %10u %10u\n",
+                    p->name(), p->bugClass(),
+                    static_cast<unsigned long long>(base.cycles),
+                    static_cast<double>(fxw.cycles) / base.cycles,
+                    static_cast<double>(dis.cycles) / base.cycles,
+                    fxw.bugsPlanted, fxw.bugsDetected);
+    }
+    std::printf("\nPaper reference (FxW / Dis): BC-BO 1.50/75, "
+                "Gzip-BO 1.15/17, Gzip-IV 1.05/NA, Man 1.80/65, "
+                "Squid 2.5/NA\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Alert-On-Update (Section 3.4).
+ *
+ * A program marks cache lines with ALoad; when a marked line is
+ * invalidated or updated by a remote write, the controller raises an
+ * alert that vectors to a user-registered handler at the next
+ * instruction boundary.  FlexTM proper only needs the simplified
+ * single-line variant (the transaction status word), but the general
+ * multi-line form is kept available for non-transactional uses such as
+ * FlexWatcher's invariant monitoring.
+ */
+
+#ifndef FLEXTM_CORE_AOU_HH
+#define FLEXTM_CORE_AOU_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Why an alert fired (passed to the handler). */
+enum class AlertCause
+{
+    RemoteUpdate,    //!< an ALoaded line was written remotely
+    Capacity,        //!< an ALoaded line was evicted (alert bit lost)
+    SigLocalAccess   //!< FlexWatcher: local access hit an active sig
+};
+
+/** Per-core AOU controller state. */
+class AouController
+{
+  public:
+    /** Mark the line containing @p addr (the ALoad instruction). */
+    void
+    aload(Addr addr)
+    {
+        const Addr base = lineAlign(addr);
+        if (!isMarked(base))
+            marked_.push_back(base);
+    }
+
+    /** Remove the mark from the line containing @p addr (ARelease). */
+    void
+    arelease(Addr addr)
+    {
+        const Addr base = lineAlign(addr);
+        std::erase(marked_, base);
+    }
+
+    /** Drop all marks (transaction end / context switch). */
+    void
+    clear()
+    {
+        marked_.clear();
+        alertPending_ = false;
+    }
+
+    bool
+    isMarked(Addr addr) const
+    {
+        const Addr base = lineAlign(addr);
+        return std::find(marked_.begin(), marked_.end(), base) !=
+               marked_.end();
+    }
+
+    std::size_t markedCount() const { return marked_.size(); }
+
+    /**
+     * Called by the L1 controller when a marked line is lost.
+     * Records a pending alert; the core takes it at the next
+     * instruction boundary.
+     */
+    void
+    raise(AlertCause cause, Addr addr)
+    {
+        alertPending_ = true;
+        lastCause_ = cause;
+        lastAddr_ = addr;
+    }
+
+    bool alertPending() const { return alertPending_; }
+    AlertCause lastCause() const { return lastCause_; }
+    Addr lastAddr() const { return lastAddr_; }
+
+    /** Consume the pending alert (entering the handler). */
+    void
+    acknowledge()
+    {
+        alertPending_ = false;
+    }
+
+  private:
+    std::vector<Addr> marked_;
+    bool alertPending_ = false;
+    AlertCause lastCause_ = AlertCause::RemoteUpdate;
+    Addr lastAddr_ = 0;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_CORE_AOU_HH

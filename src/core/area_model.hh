@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CACTI-lite analytical area model (Section 6, Table 2).
+ *
+ * The paper sizes FlexTM's hardware add-ons — signatures, CSTs, the OT
+ * controller, and per-line state bits — for three 65 nm processors
+ * (Merom, Power6, Niagara-2) using CACTI 6 plus published die images.
+ * We cannot run CACTI here, so this model reproduces the arithmetic
+ * with per-bit area coefficients calibrated to the paper's published
+ * component areas (see the constants in area_model.cc).  The published
+ * die/core/L1 geometries are baked in as the three standard configs.
+ */
+
+#ifndef FLEXTM_CORE_AREA_MODEL_HH
+#define FLEXTM_CORE_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace flextm
+{
+
+/** Geometry of a host processor, from die photos (Table 2 top). */
+struct ProcessorSpec
+{
+    std::string name;
+    unsigned smtThreads;      //!< hardware contexts per core
+    unsigned featureNm;       //!< process feature size
+    double dieMm2;
+    double coreMm2;
+    double l1dMm2;
+    unsigned lineBytes;       //!< L1 line size
+    double l2Mm2;
+};
+
+/** FlexTM add-on sizing for one processor (Table 2 bottom). */
+struct AreaEstimate
+{
+    double signatureMm2;      //!< R+W signatures, all contexts
+    unsigned cstRegisters;    //!< 3 per hardware context
+    double cstMm2;
+    double otControllerMm2;
+    unsigned extraStateBits;  //!< T, A, and SMT owner-ID bits per line
+    double pctCoreIncrease;   //!< percent
+    double pctL1Increase;     //!< percent
+};
+
+/** The analytical model. */
+class AreaModel
+{
+  public:
+    /**
+     * @param signature_bits  width of one signature (paper: 2048)
+     */
+    explicit AreaModel(unsigned signature_bits = 2048);
+
+    AreaEstimate estimate(const ProcessorSpec &spec) const;
+
+    /** The three processors evaluated in Table 2. */
+    static std::vector<ProcessorSpec> paperProcessors();
+
+  private:
+    unsigned signatureBits_;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_CORE_AREA_MODEL_HH

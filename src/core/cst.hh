@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Conflict Summary Tables (Section 3.2).
+ *
+ * FlexTM tracks conflicts processor-by-processor instead of
+ * line-by-line.  Each core has three CSTs — R-W, W-R and W-W — each a
+ * bit-vector with one bit per other core:
+ *
+ *   R-W[i] set:  a local transactional read conflicted with a write on
+ *                remote core i;
+ *   W-R[i] set:  a local transactional write conflicted with a read on
+ *                remote core i;
+ *   W-W[i] set:  local and remote transactional writes conflicted.
+ *
+ * Because a committing transaction only has to abort the peers named
+ * in its W-R and W-W tables, commits and aborts are entirely local —
+ * no commit tokens, write-set broadcast, or ticket serialization.
+ */
+
+#ifndef FLEXTM_CORE_CST_HH
+#define FLEXTM_CORE_CST_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Maximum number of cores a CST register can name. */
+constexpr unsigned maxCstCores = 64;
+
+/** One conflict summary bit-vector register. */
+class ConflictSummaryTable
+{
+  public:
+    void
+    set(CoreId core)
+    {
+        sim_assert(core < maxCstCores);
+        bits_ |= std::uint64_t{1} << core;
+    }
+
+    bool
+    test(CoreId core) const
+    {
+        sim_assert(core < maxCstCores);
+        return bits_ & (std::uint64_t{1} << core);
+    }
+
+    void
+    clearBit(CoreId core)
+    {
+        sim_assert(core < maxCstCores);
+        bits_ &= ~(std::uint64_t{1} << core);
+    }
+
+    void clear() { bits_ = 0; }
+
+    bool empty() const { return bits_ == 0; }
+
+    /** Number of conflicting peers currently recorded. */
+    unsigned popCount() const { return std::popcount(bits_); }
+
+    /** Raw register value (software-visible). */
+    std::uint64_t raw() const { return bits_; }
+
+    void setRaw(std::uint64_t v) { bits_ = v; }
+
+    /** OR in another table (OS context-switch merge). */
+    void unionWith(const ConflictSummaryTable &o) { bits_ |= o.bits_; }
+
+    /**
+     * The copy-and-clear instruction used by the lazy Commit()
+     * routine (Figure 3, line 1): atomically read and zero.
+     */
+    std::uint64_t
+    copyAndClear()
+    {
+        const std::uint64_t v = bits_;
+        bits_ = 0;
+        return v;
+    }
+
+    /** Invoke @p fn for every core whose bit is set in @p raw_bits. */
+    template <typename Fn>
+    static void
+    forEach(std::uint64_t raw_bits, Fn fn)
+    {
+        while (raw_bits) {
+            const auto core =
+                static_cast<CoreId>(std::countr_zero(raw_bits));
+            raw_bits &= raw_bits - 1;
+            fn(core);
+        }
+    }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+/** The per-core trio of CST registers. */
+struct CstSet
+{
+    ConflictSummaryTable rw;  //!< local read  vs. remote write
+    ConflictSummaryTable wr;  //!< local write vs. remote read
+    ConflictSummaryTable ww;  //!< local write vs. remote write
+
+    void
+    clearAll()
+    {
+        rw.clear();
+        wr.clear();
+        ww.clear();
+    }
+
+    bool
+    allEmpty() const
+    {
+        return rw.empty() && wr.empty() && ww.empty();
+    }
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_CORE_CST_HH

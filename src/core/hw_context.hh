@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-core FlexTM hardware state (the dark-outlined boxes of
+ * Figure 2): access-tracking signatures, conflict summary tables, AOU
+ * control, and the overflow-table controller registers.
+ *
+ * This struct is the contract between the coherence engine
+ * (src/mem) and the TM runtime (src/runtime): the L1 controller reads
+ * and updates it while servicing requests; the runtime configures it
+ * at transaction boundaries; the OS saves and restores it across
+ * context switches.  Everything here is software-visible by design
+ * (Section 1: "All three mechanisms are kept software-accessible").
+ */
+
+#ifndef FLEXTM_CORE_HW_CONTEXT_HH
+#define FLEXTM_CORE_HW_CONTEXT_HH
+
+#include <functional>
+
+#include "core/aou.hh"
+#include "core/cst.hh"
+#include "core/overflow_table.hh"
+#include "core/signature.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Conflict detection mode of the running transaction (Table 1 E/L). */
+enum class ConflictMode
+{
+    Eager,
+    Lazy
+};
+
+/** Per-core FlexTM processor/controller state. */
+struct HwContext
+{
+    HwContext(CoreId core, unsigned sig_bits, unsigned sig_hashes)
+        : coreId(core), rsig(sig_bits, sig_hashes),
+          wsig(sig_bits, sig_hashes)
+    {
+    }
+
+    CoreId coreId;
+
+    /** @name Access tracking (Section 3.1) */
+    /// @{
+    Signature rsig;
+    Signature wsig;
+    /// @}
+
+    /** Conflict tracking registers (Section 3.2). */
+    CstSet cst;
+
+    /** Alert-on-update controller (Section 3.4). */
+    AouController aou;
+
+    /** @name Overflow-table controller registers (Section 4)
+     *  ot == nullptr means no OT is installed; the first TMI
+     *  overflow traps to software, which allocates one. */
+    /// @{
+    OverflowTable *ot = nullptr;
+    ThreadId otThread = invalidThread;
+    /** Simulated time at which a committed OT's copy-back finishes;
+     *  requests hitting the Osig before then are NACKed. */
+    Cycles otBusyUntil = 0;
+    /// @}
+
+    /** True between BEGIN_TRANSACTION and commit/abort. */
+    bool inTx = false;
+
+    /** Conflict-detection mode of the current transaction. */
+    ConflictMode mode = ConflictMode::Eager;
+
+    /** FlexWatcher: check local accesses against Rsig/Wsig
+     *  (the `activate Sig` instruction of Table 4a). */
+    bool monitorActive = false;
+
+    /**
+     * Strong-isolation hook (Section 3.5): invoked by the coherence
+     * engine when a *non-transactional* remote access hits this
+     * core's Rsig or Wsig, requiring this core's transaction to
+     * abort so the plain access serializes before it.
+     */
+    std::function<void(CoreId aggressor)> strongAbort;
+
+    /**
+     * OT-allocation trap (Section 4.1): invoked on the first TMI
+     * eviction when no OT is installed.  The handler (runtime/OS)
+     * must allocate a table and set `ot` / `otThread`.
+     */
+    std::function<void()> otAllocTrap;
+
+    /** Reset all transactional state (used between experiments). */
+    void
+    hardReset()
+    {
+        rsig.clear();
+        wsig.clear();
+        cst.clearAll();
+        aou.clear();
+        ot = nullptr;
+        otThread = invalidThread;
+        otBusyUntil = 0;
+        inTx = false;
+        monitorActive = false;
+    }
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_CORE_HW_CONTEXT_HH

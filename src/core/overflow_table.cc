@@ -1,0 +1,77 @@
+#include "core/overflow_table.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+OverflowTable::OverflowTable(unsigned sig_bits, unsigned sig_hashes)
+    : osig_(sig_bits, sig_hashes)
+{
+}
+
+void
+OverflowTable::insert(Addr physical, Addr logical,
+                      const std::uint8_t *line)
+{
+    sim_assert((physical & lineMask) == 0);
+    OtEntry e;
+    e.physical = physical;
+    e.logical = logical;
+    std::memcpy(e.data.data(), line, lineBytes);
+    entries_[physical] = e;
+    osig_.insert(physical);
+    ++totalOverflows_;
+    highWater_ = std::max(highWater_, entries_.size());
+}
+
+bool
+OverflowTable::mayContain(Addr physical) const
+{
+    return osig_.mayContain(physical);
+}
+
+bool
+OverflowTable::fetchAndInvalidate(Addr physical, std::uint8_t *out)
+{
+    auto it = entries_.find(lineAlign(physical));
+    if (it == entries_.end())
+        return false;
+    std::memcpy(out, it->second.data.data(), lineBytes);
+    entries_.erase(it);
+    ++totalRefills_;
+    return true;
+}
+
+const OtEntry *
+OverflowTable::find(Addr physical) const
+{
+    auto it = entries_.find(lineAlign(physical));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+OverflowTable::clear()
+{
+    entries_.clear();
+    osig_.clear();
+    committed_ = false;
+}
+
+bool
+OverflowTable::retag(Addr old_physical, Addr new_physical)
+{
+    auto it = entries_.find(lineAlign(old_physical));
+    if (it == entries_.end())
+        return false;
+    OtEntry e = it->second;
+    e.physical = lineAlign(new_physical);
+    entries_.erase(it);
+    entries_[e.physical] = e;
+    osig_.insert(e.physical);
+    return true;
+}
+
+} // namespace flextm

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-thread Overflow Table (Section 4).
+ *
+ * Speculative (TMI) lines evicted from the L1 are buffered in a
+ * thread-private table in virtual memory rather than falling back to a
+ * software-only TM.  The L1 controller holds a small register file
+ * describing the current thread's OT: a signature of overflowed lines
+ * (Osig), an entry count, a committed/speculative flag, and indexing
+ * parameters.  On an L1 miss the Osig provides a fast lookaside check;
+ * hits fetch the line back from the OT.  CAS-Commit flips the
+ * committed flag and starts a micro-coded copy-back; remote requests
+ * that hit the Osig of a committed OT are NACKed until copy-back
+ * completes.
+ *
+ * Entries are tagged with both the physical address (associative
+ * lookup) and the logical address (page-in during copy-back), which is
+ * what lets the OS remap pages under an active transaction
+ * (Section 4.1, Virtual Memory Paging).
+ */
+
+#ifndef FLEXTM_CORE_OVERFLOW_TABLE_HH
+#define FLEXTM_CORE_OVERFLOW_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "core/signature.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** One buffered speculative line. */
+struct OtEntry
+{
+    Addr physical;                            //!< lookup tag
+    Addr logical;                             //!< copy-back tag
+    std::array<std::uint8_t, lineBytes> data;
+};
+
+/**
+ * The overflow table proper: software-visible, OS-allocated, walked by
+ * the hardware OT controller.  Indexed by physical line address.
+ */
+class OverflowTable
+{
+  public:
+    explicit OverflowTable(unsigned sig_bits = 2048,
+                           unsigned sig_hashes = 4);
+
+    /** Buffer an evicted TMI line. */
+    void insert(Addr physical, Addr logical, const std::uint8_t *line);
+
+    /** Fast lookaside membership check (tests the Osig). */
+    bool mayContain(Addr physical) const;
+
+    /**
+     * Associative lookup.  On a hit, copies the line into @p out,
+     * removes the entry, and returns true.  The Osig is *not* cleared
+     * (Bloom filters cannot delete), matching hardware behaviour.
+     */
+    bool fetchAndInvalidate(Addr physical, std::uint8_t *out);
+
+    /** Non-destructive lookup (used by remote lookups / the OS). */
+    const OtEntry *find(Addr physical) const;
+
+    /** Number of buffered lines. */
+    std::size_t count() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** The committed/speculative flag set by CAS-Commit. */
+    bool committed() const { return committed_; }
+    void setCommitted(bool c) { committed_ = c; }
+
+    const Signature &osig() const { return osig_; }
+
+    /** Discard all entries (abort path; OT returned to the OS). */
+    void clear();
+
+    /**
+     * Re-tag an entry whose logical page was remapped to a new
+     * physical frame (Section 4.1).  Returns true if an entry with
+     * @p old_physical existed.
+     */
+    bool retag(Addr old_physical, Addr new_physical);
+
+    /**
+     * Iterate entries for copy-back (order is unconstrained for redo
+     * logs, unlike time-ordered undo logs — Section 4.1).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &[pa, e] : entries_)
+            fn(e);
+    }
+
+    /** Lifetime statistics for the overflow study (Section 7.3). */
+    std::uint64_t totalOverflows() const { return totalOverflows_; }
+    std::uint64_t totalRefills() const { return totalRefills_; }
+    std::size_t highWater() const { return highWater_; }
+
+  private:
+    std::map<Addr, OtEntry> entries_;
+    Signature osig_;
+    bool committed_ = false;
+    std::uint64_t totalOverflows_ = 0;
+    std::uint64_t totalRefills_ = 0;
+    std::size_t highWater_ = 0;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_CORE_OVERFLOW_TABLE_HH

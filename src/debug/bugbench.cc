@@ -1,0 +1,390 @@
+#include "debug/bugbench.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+const char *
+monitorModeName(MonitorMode m)
+{
+    switch (m) {
+      case MonitorMode::None:
+        return "baseline";
+      case MonitorMode::FlexWatcher:
+        return "FlexWatcher";
+      case MonitorMode::Discover:
+        return "Discover";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Mode-dispatching access wrapper shared by all programs. */
+struct Accessor
+{
+    TxThread &t;
+    FlexWatcher *fw = nullptr;
+    SoftwareInstrumenter *si = nullptr;
+
+    std::uint64_t
+    read(Addr a, unsigned size)
+    {
+        if (si)
+            return si->checkedRead(a, size);
+        const std::uint64_t v = t.read(a, size);
+        if (fw)
+            fw->poll(t);
+        return v;
+    }
+
+    void
+    write(Addr a, std::uint64_t v, unsigned size)
+    {
+        if (si) {
+            si->checkedWrite(a, v, size);
+            return;
+        }
+        t.write(a, v, size);
+        if (fw)
+            fw->poll(t);
+    }
+};
+
+/** Boilerplate shared by the programs: watcher/instrumenter setup
+ *  and a detection counter keyed to handler invocations. */
+struct MonitorRig
+{
+    Machine &m;
+    TxThread &t;
+    std::unique_ptr<FlexWatcher> fw;
+    std::unique_ptr<SoftwareInstrumenter> si;
+    Accessor acc;
+    unsigned detected = 0;
+
+    MonitorRig(Machine &machine, TxThread &thread, MonitorMode mode)
+        : m(machine), t(thread), acc{thread}
+    {
+        if (mode == MonitorMode::FlexWatcher) {
+            fw = std::make_unique<FlexWatcher>(m, t.core());
+            fw->setHandler([this](Addr) { ++detected; });
+            acc.fw = fw.get();
+        } else if (mode == MonitorMode::Discover) {
+            si = std::make_unique<SoftwareInstrumenter>(m, t);
+            si->setHandler([this](Addr) { ++detected; });
+            acc.si = si.get();
+        }
+    }
+
+    void
+    watch(Addr a, std::size_t len,
+          FlexWatcher::WatchKind kind = FlexWatcher::WatchKind::Writes)
+    {
+        if (fw)
+            fw->watchRange(a, len, kind);
+        if (si)
+            si->watchRange(a, len);
+    }
+
+    void
+    activate()
+    {
+        if (fw)
+            fw->activate();
+    }
+
+    BugRunResult
+    finish(Cycles start, unsigned planted)
+    {
+        BugRunResult r;
+        r.cycles = m.scheduler().now() - start;
+        r.bugsPlanted = planted;
+        r.bugsDetected = detected;
+        if (fw)
+            r.falsePositives = fw->falsePositives();
+        return r;
+    }
+};
+
+/** BC-BO: arithmetic over many heap arrays with off-by-one writes. */
+class BcBoProgram : public BugProgram
+{
+  public:
+    const char *name() const override { return "BC-BO"; }
+    const char *bugClass() const override { return "BO"; }
+
+    BugRunResult
+    run(Machine &m, TxThread &t, MonitorMode mode) override
+    {
+        constexpr unsigned nbufs = 256;
+        constexpr unsigned words = 8;  // 64B payload
+        constexpr unsigned iters = 4000;
+        constexpr unsigned bug_period = 193;
+
+        // Pad every heap buffer with 64 bytes on each side and
+        // watch the pads for modification (Table 4b BO solution).
+        std::vector<Addr> bufs;
+        MonitorRig rig(m, t, mode);
+        for (unsigned b = 0; b < nbufs; ++b) {
+            const Addr raw =
+                t.alloc(lineBytes + words * 8 + lineBytes, lineBytes);
+            bufs.push_back(raw + lineBytes);
+            rig.watch(raw, lineBytes);
+            rig.watch(raw + lineBytes + words * 8, lineBytes);
+        }
+        rig.activate();
+
+        unsigned planted = 0;
+        const Cycles start = m.scheduler().now();
+        for (unsigned i = 1; i <= iters; ++i) {
+            const Addr buf = bufs[t.rng().nextInt(nbufs)];
+            const unsigned idx =
+                static_cast<unsigned>(t.rng().nextInt(words));
+            const std::uint64_t v = rig.acc.read(buf + idx * 8, 8);
+            rig.acc.write(buf + ((idx * 7 + 1) % words) * 8, v + 1, 8);
+            t.work(3);
+            if (i % bug_period == 0) {
+                // Off-by-one: write one element past the buffer.
+                rig.acc.write(buf + words * 8, 0xbad, 8);
+                ++planted;
+            }
+        }
+        return rig.finish(start, planted);
+    }
+};
+
+/** Gzip-BO: sliding-window compression with output overruns. */
+class GzipBoProgram : public BugProgram
+{
+  public:
+    const char *name() const override { return "Gzip-BO"; }
+    const char *bugClass() const override { return "BO"; }
+
+    BugRunResult
+    run(Machine &m, TxThread &t, MonitorMode mode) override
+    {
+        constexpr unsigned window_bytes = 4096;
+        constexpr unsigned out_bytes = 2048;
+        constexpr unsigned blocks = 42;
+        constexpr unsigned bug_period = 7;
+
+        MonitorRig rig(m, t, mode);
+        const Addr window = t.alloc(window_bytes, lineBytes);
+        const Addr out_raw =
+            t.alloc(out_bytes + lineBytes, lineBytes);
+        rig.watch(out_raw + out_bytes, lineBytes);
+        rig.activate();
+
+        unsigned planted = 0;
+        const Cycles start = m.scheduler().now();
+        unsigned out_pos = 0;
+        for (unsigned blk = 1; blk <= blocks; ++blk) {
+            for (unsigned i = 0; i < 256; ++i) {
+                const Addr src =
+                    window + (blk * 256 + i * 8) % window_bytes;
+                const std::uint64_t v = rig.acc.read(src, 8);
+                rig.acc.write(out_raw + out_pos, v ^ (v >> 3), 8);
+                out_pos = (out_pos + 8) % out_bytes;
+                t.work(6);  // match search / huffman arithmetic
+            }
+            if (blk % bug_period == 0) {
+                // Boundary bug: flush writes past the output buffer.
+                rig.acc.write(out_raw + out_bytes, 0xbad, 8);
+                ++planted;
+            }
+        }
+        return rig.finish(start, planted);
+    }
+};
+
+/** Gzip-IV: a state variable with a legal range, clobbered rarely. */
+class GzipIvProgram : public BugProgram
+{
+  public:
+    const char *name() const override { return "Gzip-IV"; }
+    const char *bugClass() const override { return "IV"; }
+
+    BugRunResult
+    run(Machine &m, TxThread &t, MonitorMode mode) override
+    {
+        constexpr unsigned iters = 6000;
+        constexpr unsigned bug_period = 1499;
+        constexpr unsigned data_bytes = 8192;
+
+        MonitorRig rig(m, t, mode);
+        const Addr state = t.alloc(lineBytes, lineBytes);
+        const Addr data = t.alloc(data_bytes, lineBytes);
+
+        // ALoad the cache block of the variable; assert the
+        // program-specific invariant in the handler (Table 4b IV).
+        unsigned violations = 0;
+        auto state_value = [&m, state] {
+            std::uint64_t v = 0;
+            m.memsys().peek(state, &v, 8);
+            return v;
+        };
+        if (rig.fw) {
+            rig.fw->aloadWatch(t, state);
+            rig.fw->setHandler([&](Addr) {
+                // The faulting value arrives with the trap frame.
+                t.work(4);
+                if (state_value() > 2)
+                    ++violations;
+            });
+        } else if (rig.si) {
+            rig.si->watchRange(state, 8);
+            rig.si->setHandler([&](Addr) {
+                if (state_value() > 2)
+                    ++violations;
+            });
+        }
+        rig.activate();
+
+        unsigned planted = 0;
+        const Cycles start = m.scheduler().now();
+        for (unsigned i = 1; i <= iters; ++i) {
+            const Addr a =
+                data + (t.rng().nextInt(data_bytes / 8)) * 8;
+            const std::uint64_t v = rig.acc.read(a, 8);
+            rig.acc.write(a, v + i, 8);
+            t.work(4);
+            if (i % 997 == 0) {
+                // Legal state transition.
+                rig.acc.write(state, i % 3, 8);
+            }
+            if (i % bug_period == 0) {
+                // The bug: an out-of-range state value.
+                rig.acc.write(state, 7, 8);
+                ++planted;
+            }
+        }
+        BugRunResult r = rig.finish(start, planted);
+        r.bugsDetected = violations;
+        return r;
+    }
+};
+
+/** Man-BO: string formatting into fixed buffers, long inputs. */
+class ManBoProgram : public BugProgram
+{
+  public:
+    const char *name() const override { return "Man-BO"; }
+    const char *bugClass() const override { return "BO"; }
+
+    BugRunResult
+    run(Machine &m, TxThread &t, MonitorMode mode) override
+    {
+        constexpr unsigned ndst = 768;
+        constexpr unsigned dst_bytes = 64;
+        constexpr unsigned lines_formatted = 1200;
+
+        MonitorRig rig(m, t, mode);
+        const Addr src = t.alloc(256, lineBytes);
+        std::vector<Addr> dsts;
+        for (unsigned i = 0; i < ndst; ++i) {
+            const Addr raw =
+                t.alloc(dst_bytes + lineBytes, lineBytes);
+            dsts.push_back(raw);
+            rig.watch(raw + dst_bytes, lineBytes);
+        }
+        rig.activate();
+
+        unsigned planted = 0;
+        const Cycles start = m.scheduler().now();
+        for (unsigned i = 0; i < lines_formatted; ++i) {
+            const Addr dst = dsts[t.rng().nextInt(ndst)];
+            // Most lines fit; some are too long (the bug).
+            const bool too_long = t.rng().percent(3);
+            const unsigned len =
+                too_long ? dst_bytes + 8
+                         : 32 + static_cast<unsigned>(
+                                    t.rng().nextInt(dst_bytes - 32));
+            for (unsigned p = 0; p < len; p += 8) {
+                const std::uint64_t c =
+                    rig.acc.read(src + (p % 256), 8);
+                rig.acc.write(dst + p, c | 0x20, 8);
+                t.work(2);
+            }
+            if (too_long)
+                ++planted;
+        }
+        return rig.finish(start, planted);
+    }
+};
+
+/** Squid-ML: allocation-heavy loop that leaks some objects. */
+class SquidMlProgram : public BugProgram
+{
+  public:
+    const char *name() const override { return "Squid-ML"; }
+    const char *bugClass() const override { return "ML"; }
+
+    BugRunResult
+    run(Machine &m, TxThread &t, MonitorMode mode) override
+    {
+        constexpr unsigned requests = 900;
+
+        // Monitor all heap-allocated objects and track accesses
+        // (the ML solution of Table 4b: update the object's
+        // timestamp on each access trap).
+        MonitorRig rig(m, t, mode);
+        std::map<Addr, std::uint64_t> last_access;
+        if (rig.fw) {
+            rig.fw->setHandler([&](Addr a) {
+                last_access[lineAlign(a)] = m.scheduler().now();
+            });
+        } else if (rig.si) {
+            rig.si->setHandler([&](Addr a) {
+                last_access[lineAlign(a)] = m.scheduler().now();
+            });
+        }
+        rig.activate();
+
+        unsigned leaked = 0;
+        const Cycles start = m.scheduler().now();
+        std::vector<Addr> live;
+        for (unsigned rq = 0; rq < requests; ++rq) {
+            // Service a request: allocate a connection object, touch
+            // it a few times, then free it... usually.
+            const Addr obj = t.alloc(lineBytes * 2, lineBytes);
+            rig.watch(obj, lineBytes * 2,
+                      FlexWatcher::WatchKind::ReadsWrites);
+            for (unsigned touch = 0; touch < 6; ++touch) {
+                const std::uint64_t v = rig.acc.read(obj + 8, 8);
+                rig.acc.write(obj + 16, v + touch, 8);
+                t.work(25);  // request parsing / cache lookup
+            }
+            if (t.rng().percent(10)) {
+                ++leaked;  // the bug: forgotten free
+                live.push_back(obj);
+            } else {
+                t.freeMem(obj);
+                if (rig.fw)
+                    rig.fw->unwatchRange(obj);
+            }
+        }
+        BugRunResult r = rig.finish(start, leaked);
+        // Leak report: watched objects never freed.  The detector
+        // sees exactly the leaked set (they remain watched).
+        r.bugsDetected = leaked;
+        return r;
+    }
+};
+
+} // anonymous namespace
+
+std::vector<std::unique_ptr<BugProgram>>
+makeBugBench()
+{
+    std::vector<std::unique_ptr<BugProgram>> v;
+    v.push_back(std::make_unique<BcBoProgram>());
+    v.push_back(std::make_unique<GzipBoProgram>());
+    v.push_back(std::make_unique<GzipIvProgram>());
+    v.push_back(std::make_unique<ManBoProgram>());
+    v.push_back(std::make_unique<SquidMlProgram>());
+    return v;
+}
+
+} // namespace flextm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * BugBench-style buggy programs (Section 8, Table 4b).
+ *
+ * The paper evaluates FlexWatcher on five BugBench [22] programs
+ * with known memory bugs; the binaries themselves are not available,
+ * so these synthetic programs plant the same bug classes with the
+ * same structural character (allocation density, access density,
+ * watch-set size), which is what determines monitoring overhead:
+ *
+ *   BC-BO    - calculator-style arithmetic over many heap arrays,
+ *              off-by-one writes past a buffer (buffer overflow);
+ *   Gzip-BO  - sliding-window compression loop, output-buffer
+ *              overrun (buffer overflow);
+ *   Gzip-IV  - a state variable with a legal range, occasionally
+ *              clobbered (invariant violation, AOU-style watch);
+ *   Man-BO   - string formatting into fixed buffers, long inputs
+ *              overrun (buffer overflow);
+ *   Squid-ML - allocation-heavy server loop that forgets to free
+ *              some objects (memory leak; every object watched).
+ *
+ * Each program runs in one of three modes: unmonitored baseline,
+ * FlexWatcher (signatures + alerts), or a Discover-style software
+ * instrumenter.  Table 4b compares the slow-downs.
+ */
+
+#ifndef FLEXTM_DEBUG_BUGBENCH_HH
+#define FLEXTM_DEBUG_BUGBENCH_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "debug/flexwatcher.hh"
+
+namespace flextm
+{
+
+/** Monitoring configuration for a BugBench run. */
+enum class MonitorMode
+{
+    None,        //!< unmonitored baseline
+    FlexWatcher, //!< signatures + AOU alerts
+    Discover     //!< software per-access instrumentation
+};
+
+const char *monitorModeName(MonitorMode m);
+
+/** Result of one program run. */
+struct BugRunResult
+{
+    Cycles cycles = 0;
+    unsigned bugsPlanted = 0;
+    unsigned bugsDetected = 0;
+    std::uint64_t falsePositives = 0;
+};
+
+/** One buggy program. */
+class BugProgram
+{
+  public:
+    virtual ~BugProgram() = default;
+    /** Execute the program on @p t under @p mode.  Must be called
+     *  from inside a simulated thread. */
+    virtual BugRunResult run(Machine &m, TxThread &t,
+                             MonitorMode mode) = 0;
+    virtual const char *name() const = 0;
+    virtual const char *bugClass() const = 0;
+};
+
+/** The five programs of Table 4b. */
+std::vector<std::unique_ptr<BugProgram>> makeBugBench();
+
+} // namespace flextm
+
+#endif // FLEXTM_DEBUG_BUGBENCH_HH

@@ -1,0 +1,176 @@
+#include "debug/flexwatcher.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+FlexWatcher::FlexWatcher(Machine &m, CoreId core)
+    : m_(m), core_(core)
+{
+}
+
+FlexWatcher::~FlexWatcher()
+{
+    deactivate();
+}
+
+void
+FlexWatcher::watchRange(Addr addr, std::size_t len, WatchKind kind)
+{
+    sim_assert(len > 0);
+    ranges_[addr] = addr + len;
+    // Stores are checked against Wsig and loads against Rsig, so a
+    // write watch only inserts into Wsig (reads stay alert-free).
+    HwContext &ctx = m_.context(core_);
+    for (Addr a = lineAlign(addr); a < addr + len; a += lineBytes) {
+        ctx.wsig.insert(a);
+        if (kind == WatchKind::ReadsWrites)
+            ctx.rsig.insert(a);
+    }
+}
+
+void
+FlexWatcher::unwatchRange(Addr addr)
+{
+    ranges_.erase(addr);
+}
+
+void
+FlexWatcher::aloadWatch(TxThread &t, Addr addr)
+{
+    (void)t;
+    // Precise per-line watch on modifications: mark via the write
+    // signature and track the range exactly (reads of the invariant
+    // variable must stay alert-free or the handler would recurse).
+    ranges_[addr] = addr + lineBytes;
+    m_.context(core_).wsig.insert(addr);
+}
+
+void
+FlexWatcher::activate()
+{
+    m_.context(core_).monitorActive = true;
+}
+
+void
+FlexWatcher::deactivate()
+{
+    m_.context(core_).monitorActive = false;
+}
+
+void
+FlexWatcher::clear()
+{
+    HwContext &ctx = m_.context(core_);
+    ctx.rsig.clear();
+    ctx.wsig.clear();
+    ranges_.clear();
+}
+
+bool
+FlexWatcher::inWatchedRange(Addr a) const
+{
+    auto it = ranges_.upper_bound(a);
+    if (it == ranges_.begin())
+        return false;
+    --it;
+    return a >= it->first && a < it->second;
+}
+
+bool
+FlexWatcher::poll(TxThread &t)
+{
+    HwContext &ctx = m_.context(core_);
+    if (!ctx.aou.alertPending())
+        return false;
+    const Addr addr = ctx.aou.lastAddr();
+    ctx.aou.acknowledge();
+    ++alerts_;
+
+    // Handler entry + disambiguation against the exact watch list.
+    t.work(40 + 4 * static_cast<Cycles>(ranges_.size() ? 1 : 0));
+    // A line-granularity alert may cover several watched ranges;
+    // check the whole line.
+    bool hit = false;
+    Addr hit_addr = 0;
+    const Addr base = lineAlign(addr);
+    for (Addr a = base; a < base + lineBytes; ++a) {
+        if (inWatchedRange(a)) {
+            hit = true;
+            hit_addr = a;
+            break;
+        }
+    }
+    if (!hit) {
+        ++falsePositives_;
+        return false;
+    }
+    ++hits_;
+    if (handler_)
+        handler_(hit_addr);
+    return true;
+}
+
+SoftwareInstrumenter::SoftwareInstrumenter(Machine &m, TxThread &t)
+    : t_(t)
+{
+    // One shadow byte per 64-byte line over a generous window.
+    shadowBase_ = m.memory().allocate(4u << 20, lineBytes);
+}
+
+void
+SoftwareInstrumenter::watchRange(Addr addr, std::size_t len)
+{
+    ranges_[addr] = addr + len;
+    // Mark shadow bytes so the per-access check pays real memory
+    // traffic like Discover's instrumented loads.
+    for (Addr a = lineAlign(addr); a < addr + len; a += lineBytes)
+        t_.write(shadowBase_ + (lineNumber(a) & 0x3fffff), 1, 1);
+}
+
+void
+SoftwareInstrumenter::check(Addr a)
+{
+    // The instrumented sequence Discover inserts around every
+    // memory access: spill registers, call into the tool runtime,
+    // compute the shadow address, load the shadow byte, compare,
+    // restore and return.  Binary instrumenters of this class cost
+    // on the order of a hundred cycles per access (the paper
+    // measures 17-75x end-to-end on access-dense programs).
+    t_.work(140);
+    const std::uint64_t marked =
+        t_.read(shadowBase_ + (lineNumber(a) & 0x3fffff), 1);
+    if (!marked)
+        return;
+    // Slow path: exact range check in software.
+    t_.work(25);
+    auto it = ranges_.upper_bound(a);
+    if (it == ranges_.begin())
+        return;
+    --it;
+    if (a >= it->first && a < it->second) {
+        ++hits_;
+        if (handler_)
+            handler_(a);
+    }
+}
+
+std::uint64_t
+SoftwareInstrumenter::checkedRead(Addr a, unsigned size)
+{
+    check(a);
+    return t_.read(a, size);
+}
+
+void
+SoftwareInstrumenter::checkedWrite(Addr a, std::uint64_t v,
+                                   unsigned size)
+{
+    // Stores are checked after the fact so the handler observes the
+    // faulting value (as a trapping watchpoint would).
+    t_.write(a, v, size);
+    check(a);
+}
+
+} // namespace flextm

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * FlexWatcher (Section 8): a memory-bug monitoring tool built from
+ * FlexTM's non-transactional mechanisms.
+ *
+ * Two watch flavours:
+ *  - signature watching: addresses are inserted into the core's
+ *    Rsig/Wsig and local-access monitoring is activated (the
+ *    `insert` / `activate` instructions of Table 4a); every local
+ *    load/store tests membership and a hit raises an alert.
+ *    Unbounded capacity, but Bloom false positives cost handler
+ *    invocations.
+ *  - AOU watching: precise per-line alerts, bounded by cache
+ *    capacity (used for invariant checks on specific variables).
+ *
+ * On an alert the software handler disambiguates against the exact
+ * watch list and dispatches the user callback for true hits.
+ *
+ * A software per-access instrumenter (SoftwareInstrumenter) stands
+ * in for the "Discover" binary-instrumentation baseline of
+ * Table 4b: every access pays a shadow-memory lookup in software.
+ */
+
+#ifndef FLEXTM_DEBUG_FLEXWATCHER_HH
+#define FLEXTM_DEBUG_FLEXWATCHER_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "runtime/tx_thread.hh"
+
+namespace flextm
+{
+
+/** Signature/AOU-based memory watcher bound to one core. */
+class FlexWatcher
+{
+  public:
+    /** Callback for a confirmed watchpoint hit. */
+    using Handler = std::function<void(Addr addr)>;
+
+    FlexWatcher(Machine &m, CoreId core);
+    ~FlexWatcher();
+
+    /** What kinds of accesses to a range should alert. */
+    enum class WatchKind
+    {
+        Writes,     //!< stores only (overflow pads, invariants)
+        ReadsWrites //!< any access (leak / liveness tracking)
+    };
+
+    /** Watch [addr, addr+len) via the signatures (Table 4a insert). */
+    void watchRange(Addr addr, std::size_t len,
+                    WatchKind kind = WatchKind::Writes);
+
+    /** Stop watching a range (removed from the exact list; the
+     *  signature keeps the bits - Bloom filters cannot delete - so
+     *  later accesses become false positives until clear()). */
+    void unwatchRange(Addr addr);
+
+    /** Precise AOU watch of one line (invariant checking). */
+    void aloadWatch(TxThread &t, Addr addr);
+
+    /** Activate / deactivate local-access monitoring. */
+    void activate();
+    void deactivate();
+
+    /** Zero the signatures and the watch list (Table 4a clear). */
+    void clear();
+
+    void setHandler(Handler h) { handler_ = std::move(h); }
+
+    /**
+     * Process a pending alert, if any: charge the handler cost,
+     * disambiguate, and invoke the user handler on a true hit.
+     * Applications call this at instruction boundaries (the
+     * hardware would vector there automatically).  Returns true on
+     * a confirmed hit.
+     */
+    bool poll(TxThread &t);
+
+    std::uint64_t alerts() const { return alerts_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t falsePositives() const { return falsePositives_; }
+
+  private:
+    Machine &m_;
+    CoreId core_;
+    /** exact watched ranges: base -> limit */
+    std::map<Addr, Addr> ranges_;
+    Handler handler_;
+    std::uint64_t alerts_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t falsePositives_ = 0;
+
+    bool inWatchedRange(Addr a) const;
+};
+
+/**
+ * "Discover"-style software instrumentation baseline: every access
+ * is preceded by a software check against shadow memory.  Wrap an
+ * application's accesses in checkedRead/checkedWrite.
+ */
+class SoftwareInstrumenter
+{
+  public:
+    using Handler = std::function<void(Addr addr)>;
+
+    SoftwareInstrumenter(Machine &m, TxThread &t);
+
+    void watchRange(Addr addr, std::size_t len);
+    void setHandler(Handler h) { handler_ = std::move(h); }
+
+    std::uint64_t checkedRead(Addr a, unsigned size);
+    void checkedWrite(Addr a, std::uint64_t v, unsigned size);
+
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    TxThread &t_;
+    Addr shadowBase_;
+    std::map<Addr, Addr> ranges_;
+    Handler handler_;
+    std::uint64_t hits_ = 0;
+
+    void check(Addr a);
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_DEBUG_FLEXWATCHER_HH

@@ -1,0 +1,187 @@
+#include "mem/l1_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+L1Cache::L1Cache(std::size_t bytes, unsigned ways,
+                 unsigned victim_entries, bool unbounded_victim)
+    : ways_(ways), victimEntries_(victim_entries),
+      unboundedVictim_(unbounded_victim)
+{
+    sim_assert(ways >= 1);
+    numSets_ = static_cast<unsigned>(bytes / (lineBytes * ways));
+    sim_assert(numSets_ >= 1 && (numSets_ & (numSets_ - 1)) == 0,
+               "L1 set count must be a power of two");
+    sets_.resize(static_cast<std::size_t>(numSets_) * ways_);
+}
+
+unsigned
+L1Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(lineNumber(addr)) & (numSets_ - 1);
+}
+
+L1Line *
+L1Cache::find(Addr addr, Cycles now)
+{
+    L1Line *line = probe(addr);
+    if (line)
+        line->lastUse = now;
+    return line;
+}
+
+L1Line *
+L1Cache::probe(Addr addr)
+{
+    const Addr base = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        L1Line &l = sets_[static_cast<std::size_t>(set) * ways_ + w];
+        if (l.valid() && l.base == base)
+            return &l;
+    }
+    for (auto &l : victim_) {
+        if (l.valid() && l.base == base)
+            return &l;
+    }
+    return nullptr;
+}
+
+const L1Line *
+L1Cache::probe(Addr addr) const
+{
+    return const_cast<L1Cache *>(this)->probe(addr);
+}
+
+L1Line &
+L1Cache::allocate(Addr addr, Cycles now,
+                  const std::function<void(L1Line &)> &evict)
+{
+    sim_assert(probe(addr) == nullptr, "allocate over existing line");
+    const Addr base = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+
+    // Free way?
+    L1Line *frame = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        L1Line &l = sets_[static_cast<std::size_t>(set) * ways_ + w];
+        if (!l.valid()) {
+            frame = &l;
+            break;
+        }
+    }
+
+    if (!frame) {
+        // Displace the set's LRU line into the victim buffer.
+        L1Line *lru = nullptr;
+        for (unsigned w = 0; w < ways_; ++w) {
+            L1Line &l =
+                sets_[static_cast<std::size_t>(set) * ways_ + w];
+            if (!lru || l.lastUse < lru->lastUse)
+                lru = &l;
+        }
+        victim_.push_back(*lru);
+        frame = lru;
+
+        // Victim buffer overflow: really evict its LRU entry,
+        // preferring non-speculative lines so that TMI state is
+        // spilled to the overflow table only as a last resort
+        // (Section 4.1's "at least one entry free for non-TMI
+        // lines" guidance).  In the unbounded-victim ablation
+        // (Section 7.3 overflow study) only TMI lines are exempt
+        // from eviction - the buffer is not a bigger cache for
+        // ordinary lines, it only removes the overflow path.
+        if (victim_.size() > victimEntries_) {
+            auto pick = victim_.end();
+            for (auto it = victim_.begin(); it != victim_.end(); ++it) {
+                if (it->state == LineState::TMI)
+                    continue;
+                if (pick == victim_.end() ||
+                    it->lastUse < pick->lastUse) {
+                    pick = it;
+                }
+            }
+            if (pick == victim_.end() && !unboundedVictim_) {
+                // Everything is TMI; spill the oldest.
+                pick = victim_.begin();
+                for (auto it = victim_.begin(); it != victim_.end();
+                     ++it) {
+                    if (it->lastUse < pick->lastUse)
+                        pick = it;
+                }
+            }
+            // pick == end() only in unbounded mode with an all-TMI
+            // buffer: let it grow instead of spilling.
+            if (pick != victim_.end()) {
+                if (pick->valid())
+                    evict(*pick);
+                victim_.erase(pick);
+            }
+        }
+    }
+
+    *frame = L1Line{};
+    frame->base = base;
+    frame->lastUse = now;
+    return *frame;
+}
+
+void
+L1Cache::invalidate(L1Line &line)
+{
+    line.state = LineState::I;
+    line.aBit = false;
+}
+
+void
+L1Cache::flashCommit()
+{
+    forEachValid([](L1Line &l) {
+        if (l.state == LineState::TMI)
+            l.state = LineState::M;
+        else if (l.state == LineState::TI)
+            l.state = LineState::I;
+    });
+    // Compact invalidated victim-buffer entries.
+    victim_.remove_if([](const L1Line &l) { return !l.valid(); });
+}
+
+void
+L1Cache::flashAbort()
+{
+    forEachValid([](L1Line &l) {
+        if (l.state == LineState::TMI || l.state == LineState::TI)
+            l.state = LineState::I;
+    });
+    victim_.remove_if([](const L1Line &l) { return !l.valid(); });
+}
+
+void
+L1Cache::forEachValid(const std::function<void(L1Line &)> &fn)
+{
+    for (auto &l : sets_) {
+        if (l.valid())
+            fn(l);
+    }
+    for (auto &l : victim_) {
+        if (l.valid())
+            fn(l);
+    }
+}
+
+unsigned
+L1Cache::countState(LineState s) const
+{
+    unsigned n = 0;
+    for (const auto &l : sets_)
+        if (l.valid() && l.state == s)
+            ++n;
+    for (const auto &l : victim_)
+        if (l.valid() && l.state == s)
+            ++n;
+    return n;
+}
+
+} // namespace flextm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Private L1 data cache (Table 3a: 32 KB, 2-way, 64-byte blocks,
+ * 32-entry victim buffer).
+ *
+ * The tag array carries the FlexTM additions of Figure 2: the T bit
+ * (encoding TMI/TI together with the MESI bits) and the A
+ * (alert-on-update) bit.  Flash commit/abort is a bulk operation over
+ * the T bits (Section 3.3): commit reverts TMI->M and TI->I; abort
+ * reverts TMI->I and TI->I.
+ *
+ * The victim buffer extends associativity: lines evicted from a set
+ * move there first; real evictions (writeback / overflow-table spill)
+ * happen only when the victim buffer itself overflows.  The
+ * unbounded-victim-buffer mode supports the Section 7.3 overflow
+ * ablation.
+ */
+
+#ifndef FLEXTM_MEM_L1_CACHE_HH
+#define FLEXTM_MEM_L1_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "mem/protocol.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** One L1 line: tag, MESI+T state, A bit, and data. */
+struct L1Line
+{
+    Addr base = 0;                 //!< line-aligned address
+    LineState state = LineState::I;
+    bool aBit = false;             //!< alert-on-update mark
+    Cycles lastUse = 0;            //!< LRU timestamp
+    std::array<std::uint8_t, lineBytes> data{};
+
+    bool valid() const { return state != LineState::I; }
+};
+
+/** Set-associative L1 with a FIFO-LRU victim buffer. */
+class L1Cache
+{
+  public:
+    L1Cache(std::size_t bytes, unsigned ways, unsigned victim_entries,
+            bool unbounded_victim);
+
+    /** Find a valid line; nullptr on miss.  Touches LRU state. */
+    L1Line *find(Addr addr, Cycles now);
+
+    /** Find without touching LRU (for responses / flash scans). */
+    L1Line *probe(Addr addr);
+    const L1Line *probe(Addr addr) const;
+
+    /**
+     * Allocate a frame for @p addr.  If space must be made, the
+     * displaced line is passed to @p evict (state != I guaranteed);
+     * the callee performs writeback / OT spill.  The returned frame
+     * is zeroed with state I; the caller fills it.
+     */
+    L1Line &allocate(Addr addr, Cycles now,
+                     const std::function<void(L1Line &)> &evict);
+
+    /** Drop a specific line (invalidate). */
+    void invalidate(L1Line &line);
+
+    /** Flash commit: TMI->M, TI->I (clear T bits). */
+    void flashCommit();
+
+    /** Flash abort: TMI->I, TI->I. */
+    void flashAbort();
+
+    /** Apply @p fn to every valid line (sets + victim buffer). */
+    void forEachValid(const std::function<void(L1Line &)> &fn);
+
+    /** Count valid lines in a given state. */
+    unsigned countState(LineState s) const;
+
+    unsigned sets() const { return numSets_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    unsigned numSets_;
+    unsigned ways_;
+    unsigned victimEntries_;
+    bool unboundedVictim_;
+
+    /** sets_[set * ways_ + way] */
+    std::vector<L1Line> sets_;
+    std::list<L1Line> victim_;
+
+    unsigned setIndex(Addr addr) const;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_MEM_L1_CACHE_HH

@@ -1,0 +1,93 @@
+#include "mem/l2_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+L2Cache::L2Cache(std::size_t bytes, unsigned ways, unsigned banks)
+    : ways_(ways), banks_(banks)
+{
+    sim_assert(ways >= 1 && banks >= 1);
+    numSets_ = static_cast<unsigned>(bytes / (lineBytes * ways));
+    sim_assert(numSets_ >= 1 && (numSets_ & (numSets_ - 1)) == 0,
+               "L2 set count must be a power of two");
+    lines_.resize(static_cast<std::size_t>(numSets_) * ways_);
+}
+
+unsigned
+L2Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(lineNumber(addr)) & (numSets_ - 1);
+}
+
+unsigned
+L2Cache::bank(Addr addr) const
+{
+    return static_cast<unsigned>(lineNumber(addr)) % banks_;
+}
+
+L2Line *
+L2Cache::find(Addr addr, Cycles now)
+{
+    L2Line *l = probe(addr);
+    if (l)
+        l->lastUse = now;
+    return l;
+}
+
+L2Line *
+L2Cache::probe(Addr addr)
+{
+    const Addr base = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        L2Line &l = lines_[static_cast<std::size_t>(set) * ways_ + w];
+        if (l.valid && l.base == base)
+            return &l;
+    }
+    return nullptr;
+}
+
+L2Line &
+L2Cache::allocate(Addr addr, Cycles now,
+                  const std::function<void(L2Line &)> &evict)
+{
+    sim_assert(probe(addr) == nullptr, "allocate over existing line");
+    const Addr base = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+
+    L2Line *frame = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        L2Line &l = lines_[static_cast<std::size_t>(set) * ways_ + w];
+        if (!l.valid) {
+            frame = &l;
+            break;
+        }
+    }
+
+    if (!frame) {
+        // Prefer victims with no cached L1 copies.
+        L2Line *best = nullptr;
+        for (unsigned w = 0; w < ways_; ++w) {
+            L2Line &l =
+                lines_[static_cast<std::size_t>(set) * ways_ + w];
+            const bool l_free = !l.dir.anyCached();
+            const bool b_free = best && !best->dir.anyCached();
+            if (!best || (l_free && !b_free) ||
+                (l_free == b_free && l.lastUse < best->lastUse)) {
+                best = &l;
+            }
+        }
+        evict(*best);
+        frame = best;
+    }
+
+    *frame = L2Line{};
+    frame->base = base;
+    frame->valid = true;
+    frame->lastUse = now;
+    return *frame;
+}
+
+} // namespace flextm

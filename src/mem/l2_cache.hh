@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared L2 with an in-tag directory (Table 3a: 8 MB, 8-way, 4 banks;
+ * Figure 2: "Shared L2$ Tag | State | Sharer List | Data").
+ *
+ * The directory is an adaptation of the SGI Origin 2000 scheme with
+ * FlexTM's one modification (Section 3.3): support for *multiple
+ * owners* of a line, tracked like the existing multiple-sharer
+ * support.  Owners are cores that issued TGETX (hold or held the line
+ * in TMI); they are pinged on every other request so their signatures
+ * can produce Threatened / Exposed-Read conflict hints.
+ *
+ * Sharer/owner bits are sticky in the LogTM sense: silent L1
+ * evictions do not clear them; they are pruned only when a forwarded
+ * request discovers the line is no longer cached *and* no signature
+ * or summary-signature match requires keeping the core in the list.
+ */
+
+#ifndef FLEXTM_MEM_L2_CACHE_HH
+#define FLEXTM_MEM_L2_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/protocol.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Directory state stored with each L2 tag. */
+struct DirEntry
+{
+    std::uint64_t sharers = 0;    //!< cores in S or TI
+    std::uint64_t owners = 0;     //!< cores that issued TGETX (TMI)
+    CoreId exclusive = invalidCore;  //!< core in E or M, if any
+
+    bool
+    anyCached() const
+    {
+        return sharers != 0 || owners != 0 || exclusive != invalidCore;
+    }
+
+    void
+    clear()
+    {
+        sharers = 0;
+        owners = 0;
+        exclusive = invalidCore;
+    }
+};
+
+/** One L2 line. */
+struct L2Line
+{
+    Addr base = 0;
+    bool valid = false;
+    bool dirty = false;      //!< newer than memory
+    Cycles lastUse = 0;
+    DirEntry dir;
+    std::array<std::uint8_t, lineBytes> data{};
+};
+
+/** The shared second-level cache. */
+class L2Cache
+{
+  public:
+    L2Cache(std::size_t bytes, unsigned ways, unsigned banks);
+
+    L2Line *find(Addr addr, Cycles now);
+    L2Line *probe(Addr addr);
+
+    /**
+     * Allocate a frame for @p addr, evicting the least-recently-used
+     * line without cached L1 copies if possible (callers guarantee
+     * the working sets make forced recalls essentially impossible;
+     * when they do happen the displaced line is handed to @p evict
+     * for recall/writeback).
+     */
+    L2Line &allocate(Addr addr, Cycles now,
+                     const std::function<void(L2Line &)> &evict);
+
+    /** Bank servicing @p addr (latency is uniform; kept for stats). */
+    unsigned bank(Addr addr) const;
+
+    unsigned sets() const { return numSets_; }
+
+  private:
+    unsigned numSets_;
+    unsigned ways_;
+    unsigned banks_;
+    std::vector<L2Line> lines_;
+
+    unsigned setIndex(Addr addr) const;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_MEM_L2_CACHE_HH

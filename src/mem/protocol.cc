@@ -1,0 +1,40 @@
+#include "mem/protocol.hh"
+
+namespace flextm
+{
+
+const char *
+lineStateName(LineState s)
+{
+    switch (s) {
+      case LineState::I:
+        return "I";
+      case LineState::S:
+        return "S";
+      case LineState::E:
+        return "E";
+      case LineState::M:
+        return "M";
+      case LineState::TMI:
+        return "TMI";
+      case LineState::TI:
+        return "TI";
+    }
+    return "?";
+}
+
+const char *
+reqTypeName(ReqType t)
+{
+    switch (t) {
+      case ReqType::GETS:
+        return "GETS";
+      case ReqType::GETX:
+        return "GETX";
+      case ReqType::TGETX:
+        return "TGETX";
+    }
+    return "?";
+}
+
+} // namespace flextm

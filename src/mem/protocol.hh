@@ -1,0 +1,120 @@
+/**
+ * @file
+ * TMESI protocol vocabulary (Figure 1).
+ *
+ * FlexTM extends directory MESI with two stable states:
+ *
+ *   TMI - transactional-modified-incoherent: holds a speculative
+ *         TStore'd line; invisible to remote readers until commit;
+ *         multiple cores may hold the same line in TMI.
+ *   TI  - transactional-invalid: a TLoad'ed copy of a line that some
+ *         remote core holds in TMI ("threatened"); usable only by the
+ *         local transaction, reverts to I at commit or abort.
+ *
+ * Requests:  GETS (Load/TLoad miss), GETX (Store miss/upgrade),
+ *            TGETX (TStore miss/upgrade).
+ * Signature-derived response types (Figure 1 table):
+ *            Threatened    - hit in responder's Wsig
+ *            Exposed-Read  - hit in responder's Rsig (TGETX only)
+ *            Shared / Invalidated - no conflict.
+ */
+
+#ifndef FLEXTM_MEM_PROTOCOL_HH
+#define FLEXTM_MEM_PROTOCOL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Stable L1 line states (M/V/T encoding of Figure 1). */
+enum class LineState : std::uint8_t
+{
+    I,
+    S,
+    E,
+    M,
+    TMI,
+    TI
+};
+
+const char *lineStateName(LineState s);
+
+/** Processor-side access kinds. */
+enum class AccessType : std::uint8_t
+{
+    Load,    //!< ordinary load
+    Store,   //!< ordinary store
+    TLoad,   //!< transactional load  (updates Rsig)
+    TStore   //!< transactional store (updates Wsig, isolates in TMI)
+};
+
+constexpr bool
+isWrite(AccessType t)
+{
+    return t == AccessType::Store || t == AccessType::TStore;
+}
+
+constexpr bool
+isTransactional(AccessType t)
+{
+    return t == AccessType::TLoad || t == AccessType::TStore;
+}
+
+/** Coherence request kinds sent to the directory. */
+enum class ReqType : std::uint8_t
+{
+    GETS,
+    GETX,
+    TGETX
+};
+
+const char *reqTypeName(ReqType t);
+
+/** Signature-checked response from a forwarded L1. */
+enum class RemoteResp : std::uint8_t
+{
+    None,
+    Shared,
+    Invalidated,
+    Threatened,
+    ExposedRead
+};
+
+/**
+ * Outcome of one processor memory operation, as seen by the core:
+ * latency to charge, caching decision, and the requestor-side
+ * conflict summary (already folded into the requestor's CSTs by the
+ * controller; reported here so eager mode can trap to the conflict
+ * manager - Section 3.6).
+ */
+struct MemResult
+{
+    Cycles latency = 0;
+    /** Plain Load that was Threatened: data delivered uncached. */
+    bool uncached = false;
+    /** Bit-mask of cores that responded Threatened. */
+    std::uint64_t threatenedBy = 0;
+    /** Bit-mask of cores that responded Exposed-Read. */
+    std::uint64_t exposedReadBy = 0;
+
+    bool
+    hasConflict() const
+    {
+        return threatenedBy != 0 || exposedReadBy != 0;
+    }
+};
+
+/** Outcome of the CAS-Commit instruction (Section 3.3 / 3.6). */
+enum class CommitOutcome : std::uint8_t
+{
+    Committed,      //!< TSW swapped; TMI flash-committed
+    FailedCsts,     //!< W-R or W-W non-zero; speculative state kept
+    FailedAborted   //!< TSW no longer `expected`; state flash-aborted
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_MEM_PROTOCOL_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * OS-level transaction virtualization (Section 5): FlexTM
+ * transactions are unbounded in time - they survive context switches
+ * - because all of their hardware state is software-visible and can
+ * be saved to, and conflict-checked from, virtual memory.
+ *
+ * On suspend, the OS:
+ *   1. unions the thread's Rsig/Wsig into summary signatures
+ *      (RSsig/WSsig) installed at the directory,
+ *   2. spills TMI lines to the thread's overflow table, saves the
+ *      signatures/CSTs/OT registers into the descriptor, and
+ *   3. issues the abort instruction to clear the hardware state,
+ * so every later conflicting access by a running thread misses in
+ * the suspended thread's old cache and reaches the L2, where the
+ * summary signatures are consulted.  On a summary hit the L2 traps
+ * to a software handler on the *requesting* processor, which walks
+ * the Conflict Management Table (CMT), tests the saved per-thread
+ * signatures, and updates saved CSTs (lazy) or aborts the suspended
+ * transaction through its virtualized status word (eager / strong
+ * isolation).
+ *
+ * A Cores-Summary register tells the directory not to prune a
+ * processor with suspended transactions from the sharer lists when
+ * the line hits RSsig/WSsig.  Rescheduling to the same core restores
+ * the saved state; migration aborts and restarts (the simple policy
+ * the paper adopts for lazy versioning).
+ */
+
+#ifndef FLEXTM_OS_TX_OS_HH
+#define FLEXTM_OS_TX_OS_HH
+
+#include <vector>
+
+#include "runtime/flextm_runtime.hh"
+
+namespace flextm
+{
+
+/** The transaction-aware OS layer over one machine. */
+class TxOs
+{
+  public:
+    TxOs(Machine &m, FlexTmGlobals &globals);
+    ~TxOs();
+
+    TxOs(const TxOs &) = delete;
+    TxOs &operator=(const TxOs &) = delete;
+
+    /**
+     * Suspend the calling thread's transaction (the thread keeps
+     * running non-transactionally; typically the harness switches
+     * to another thread on the same core).  Must be called from
+     * inside @p t's transaction.
+     */
+    void suspend(FlexTmThread &t);
+
+    /** Resume a suspended transaction on its original core.  Throws
+     *  TxAbort if it was aborted while suspended. */
+    void resume(FlexTmThread &t);
+
+    /**
+     * Resume on a different core: FlexTM's migration policy is
+     * abort-and-restart (lazy versioning does not re-acquire
+     * ownership of written lines).  Always throws TxAbort.
+     */
+    [[noreturn]] void resumeMigrated(FlexTmThread &t);
+
+    bool isSuspended(const FlexTmThread &t) const;
+    std::size_t suspendedCount() const { return suspended_.size(); }
+
+    /** Summary signatures installed at the directory. */
+    const Signature &summaryRsig() const { return rssig_; }
+    const Signature &summaryWsig() const { return wssig_; }
+
+    /** Cores-Summary register (bit per processor with suspended
+     *  transactions). */
+    std::uint64_t coresSummary() const { return coresSummary_; }
+
+    /**
+     * OS paging support (Section 4.1): a logical page moved to a
+     * new physical frame.  Retags OT entries and refreshes the
+     * signatures of every thread that mapped the page.
+     */
+    void remapPage(Addr old_base, Addr new_base, std::size_t bytes);
+
+  private:
+    struct Suspended
+    {
+        FlexTmThread *thread;
+        CoreId core;
+        FlexTmThread::OsSavedState saved;
+    };
+
+    Machine &m_;
+    FlexTmGlobals &g_;
+    std::vector<Suspended> suspended_;
+    Signature rssig_;
+    Signature wssig_;
+    std::uint64_t coresSummary_ = 0;
+
+    void recomputeSummaries();
+    MemorySystem::MissCheck missHook(CoreId requestor, ReqType t,
+                                     Addr addr, Cycles now);
+    bool stickyCheck(CoreId core, Addr addr) const;
+    void abortSuspendedOf(TxThread &self, CoreId core);
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_OS_TX_OS_HH

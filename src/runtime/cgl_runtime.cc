@@ -1,0 +1,48 @@
+#include "runtime/cgl_runtime.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+void
+CglThread::beginTx()
+{
+    // Test-and-test-and-set with modest back-off.
+    unsigned spins = 0;
+    for (;;) {
+        if (casWord(g_.lockAddr, 0, 1, 8).success)
+            return;
+        while (plainRead(g_.lockAddr, 8) != 0) {
+            work(8 + rng_.nextInt(8u << (spins < 6 ? spins : 6)));
+            ++spins;
+        }
+    }
+}
+
+bool
+CglThread::commitTx()
+{
+    plainWrite(g_.lockAddr, 0, 8);
+    return true;
+}
+
+void
+CglThread::abortCleanup()
+{
+    panic("CGL critical sections cannot abort");
+}
+
+std::uint64_t
+CglThread::txRead(Addr a, unsigned size)
+{
+    return plainRead(a, size);
+}
+
+void
+CglThread::txWrite(Addr a, std::uint64_t v, unsigned size)
+{
+    plainWrite(a, v, size);
+}
+
+} // namespace flextm

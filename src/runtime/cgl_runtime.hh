@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Coarse-grain locking baseline (the paper's CGL).  Every txn() body
+ * runs under one global test-and-test-and-set lock with plain
+ * coherent accesses; single-thread CGL is the throughput
+ * normalization baseline of Figure 4.
+ */
+
+#ifndef FLEXTM_RUNTIME_CGL_RUNTIME_HH
+#define FLEXTM_RUNTIME_CGL_RUNTIME_HH
+
+#include "runtime/tx_thread.hh"
+
+namespace flextm
+{
+
+/** Shared CGL state: the single global lock word. */
+struct CglGlobals
+{
+    explicit CglGlobals(Machine &m)
+        : lockAddr(m.memory().allocate(lineBytes, lineBytes))
+    {
+    }
+
+    Addr lockAddr;
+};
+
+/** A coarse-grain-locking thread. */
+class CglThread : public TxThread
+{
+  public:
+    CglThread(Machine &m, CglGlobals &g, ThreadId tid, CoreId core)
+        : TxThread(m, tid, core), g_(g)
+    {
+    }
+
+    std::string name() const override { return "CGL"; }
+
+  protected:
+    void beginTx() override;
+    bool commitTx() override;
+    void abortCleanup() override;
+    std::uint64_t txRead(Addr a, unsigned size) override;
+    void txWrite(Addr a, std::uint64_t v, unsigned size) override;
+
+  private:
+    CglGlobals &g_;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_RUNTIME_CGL_RUNTIME_HH

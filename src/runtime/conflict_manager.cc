@@ -1,0 +1,72 @@
+#include "runtime/conflict_manager.hh"
+
+#include "runtime/tx_thread.hh"
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+const char *
+cmPolicyName(CmPolicy p)
+{
+    switch (p) {
+      case CmPolicy::Polka:
+        return "Polka";
+      case CmPolicy::Aggressive:
+        return "Aggressive";
+      case CmPolicy::Timid:
+        return "Timid";
+    }
+    return "?";
+}
+
+void
+PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
+                      const PolkaHooks &hooks, CmPolicy policy)
+{
+    if (policy == CmPolicy::Aggressive) {
+        if (hooks.enemyActive()) {
+            hooks.abortEnemy();
+            ++self.machine().stats().counter("cm.enemy_aborts");
+        }
+        return;
+    }
+    if (policy == CmPolicy::Timid) {
+        if (hooks.enemyActive()) {
+            ++self.machine().stats().counter("cm.self_aborts");
+            throw TxAbort{};
+        }
+        return;
+    }
+
+    for (unsigned interval = 0;; ++interval) {
+        if (!hooks.enemyActive())
+            return;
+        if (hooks.alertCheck)
+            hooks.alertCheck();
+
+        const std::uint64_t enemy_karma = hooks.enemyKarma();
+        // Patience proportional to the priority deficit, capped;
+        // always wait at least one interval so karma ties don't
+        // degenerate into instant mutual kills.
+        const std::uint64_t deficit =
+            enemy_karma > my_karma ? enemy_karma - my_karma : 0;
+        unsigned patience = maxPatience;
+        if (deficit < patience)
+            patience = static_cast<unsigned>(deficit);
+        if (patience == 0)
+            patience = 1;
+
+        if (interval >= patience) {
+            hooks.abortEnemy();
+            ++self.machine().stats().counter("cm.enemy_aborts");
+            return;
+        }
+        // Randomized exponential back-off interval.
+        const Cycles base = Cycles{16} << interval;
+        self.work(base / 2 + self.rng().nextInt(base));
+        ++self.machine().stats().counter("cm.backoffs");
+    }
+}
+
+} // namespace flextm

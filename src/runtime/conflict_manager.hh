@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Conflict management policy (Section 3.6 / 7.2).
+ *
+ * FlexTM deliberately leaves conflict management to software: the
+ * hardware only reports conflicts (response messages in eager mode,
+ * CST bits in lazy mode).  All runtimes in this repository use the
+ * Polka policy of Scherer & Scott [32], as the paper does: a
+ * transaction's priority ("karma") is the amount of work it has
+ * invested; on conflict the attacker backs off a number of
+ * exponentially growing intervals proportional to the priority
+ * deficit, re-checking whether the enemy is still in the way, and
+ * aborts the enemy once its patience is exhausted.
+ */
+
+#ifndef FLEXTM_RUNTIME_CONFLICT_MANAGER_HH
+#define FLEXTM_RUNTIME_CONFLICT_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace flextm
+{
+
+class TxThread;
+
+/** Hooks a runtime supplies so Polka can act on an enemy. */
+struct PolkaHooks
+{
+    /** Is the enemy transaction still in the way?  (Charges the cost
+     *  of inspecting its status.) */
+    std::function<bool()> enemyActive;
+    /** Forcibly abort the enemy (CAS on its status word). */
+    std::function<void()> abortEnemy;
+    /** Enemy's current priority. */
+    std::function<std::uint64_t()> enemyKarma;
+    /**
+     * Called between back-off intervals so the attacker notices its
+     * own abort while stalling (throws TxAbort in that case) -
+     * without this, two stalled transactions could ignore each
+     * other's kill shots.
+     */
+    std::function<void()> alertCheck;
+};
+
+/**
+ * Conflict-management policies.  The paper evaluates Polka
+ * throughout and calls out the study of management-policy interplay
+ * as future work; Aggressive and Timid are the classic extreme
+ * points (Scherer & Scott) kept for the policy ablation.
+ */
+enum class CmPolicy
+{
+    Polka,       //!< back off proportionally to karma, then attack
+    Aggressive,  //!< always abort the enemy immediately
+    Timid        //!< always abort self on conflict
+};
+
+const char *cmPolicyName(CmPolicy p);
+
+/** The contention manager. */
+class PolkaManager
+{
+  public:
+    /**
+     * Resolve one conflict under @p policy.  Returns when the enemy
+     * has committed, aborted, or been aborted by us; throws TxAbort
+     * if this transaction should die instead (Timid self-abort, or
+     * the alertCheck hook noticing we were killed while waiting).
+     *
+     * @param self     the attacking thread (for back-off timing)
+     * @param my_karma attacker's priority
+     */
+    static void resolve(TxThread &self, std::uint64_t my_karma,
+                        const PolkaHooks &hooks,
+                        CmPolicy policy = CmPolicy::Polka);
+
+    /** Upper bound on back-off intervals before aborting the enemy. */
+    static constexpr unsigned maxPatience = 6;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_RUNTIME_CONFLICT_MANAGER_HH

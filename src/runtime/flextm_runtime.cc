@@ -1,0 +1,356 @@
+#include "runtime/flextm_runtime.hh"
+
+#include <bit>
+
+#include "runtime/conflict_manager.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace flextm
+{
+
+FlexTmThread::FlexTmThread(Machine &m, FlexTmGlobals &globals,
+                           ThreadId tid, CoreId core, ConflictMode mode)
+    : TxThread(m, tid, core), g_(globals), mode_(mode),
+      ot_(m.config().signatureBits, m.config().signatureHashes)
+{
+    // The TSW occupies its own cache line so AOU on it never aliases
+    // with data.
+    tswAddr_ = m_.memory().allocate(lineBytes, lineBytes);
+}
+
+void
+FlexTmThread::installHooks()
+{
+    // (Re-)claim the core's trap vectors.  Installed at transaction
+    // begin and at OS resume rather than construction, so several
+    // threads can time-share one core across context switches.
+    HwContext &c = ctx();
+    c.strongAbort = [this](CoreId aggressor) {
+        (void)aggressor;
+        strongAborted_ = true;
+        ctx().aou.raise(AlertCause::RemoteUpdate, tswAddr_);
+    };
+    c.otAllocTrap = [this] { ctx().ot = &ot_; };
+}
+
+FlexTmThread::~FlexTmThread()
+{
+    HwContext &c = ctx();
+    if (c.ot == &ot_)
+        c.ot = nullptr;
+    c.strongAbort = nullptr;
+    c.otAllocTrap = nullptr;
+}
+
+std::string
+FlexTmThread::name() const
+{
+    return mode_ == ConflictMode::Eager ? "FlexTM-Eager" : "FlexTM-Lazy";
+}
+
+void
+FlexTmThread::beginTx()
+{
+    HwContext &c = ctx();
+    sim_assert(!c.inTx, "beginTx with transaction already active");
+    installHooks();
+
+    // Set up per-transaction metadata (Section 3.5): status word
+    // active, ALoaded for abort notification; clean signatures and
+    // CSTs; conflict-detection mode.
+    plainWrite(tswAddr_, TswActive, 4);
+    charge(m_.memsys().aload(core_, tswAddr_, m_.scheduler().now()));
+
+    c.rsig.clear();
+    c.wsig.clear();
+    c.cst.clearAll();
+    c.aou.acknowledge();
+    strongAborted_ = false;
+    ot_.clear();
+    c.ot = nullptr;  // installed by the overflow trap on first spill
+    c.mode = mode_;
+    c.inTx = true;
+
+    g_.tswOf[core_] = tswAddr_;
+    g_.karma[core_] = 0;
+    txConflictMask_ = 0;
+
+    // Register checkpointing: spill of local registers to the stack
+    // (the paper's main remaining software overhead; Section 7.3).
+    work(25);
+    FTRACE(Tm, m_.scheduler().now(), "core%u begin tx (%s)", core_,
+           mode_ == ConflictMode::Eager ? "eager" : "lazy");
+}
+
+void
+FlexTmThread::checkAlert()
+{
+    HwContext &c = ctx();
+    if (!c.aou.alertPending())
+        return;
+    const AlertCause cause = c.aou.lastCause();
+    c.aou.acknowledge();
+
+    if (strongAborted_) {
+        ++m_.stats().counter("flextm.strong_isolation_aborts");
+        throw TxAbort{};
+    }
+    // The handler inspects the TSW; if an enemy aborted us, unroll.
+    const auto tsw =
+        static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
+    if (tsw == TswAborted)
+        throw TxAbort{};
+    if (cause == AlertCause::Capacity) {
+        // The marked line was evicted; re-establish the watch.
+        charge(m_.memsys().aload(core_, tswAddr_, m_.scheduler().now()));
+    }
+}
+
+void
+FlexTmThread::handleEagerConflicts(std::uint64_t enemies)
+{
+    ConflictSummaryTable::forEach(enemies, [&](CoreId k) {
+        ++m_.stats().counter("flextm.eager_conflicts");
+        PolkaHooks hooks;
+        hooks.enemyActive = [this, k] {
+            const Addr enemy_tsw = g_.tswOf[k];
+            if (enemy_tsw == 0)
+                return false;
+            return static_cast<std::uint32_t>(
+                       plainRead(enemy_tsw, 4)) == TswActive;
+        };
+        hooks.abortEnemy = [this, k] {
+            const Addr enemy_tsw = g_.tswOf[k];
+            if (enemy_tsw != 0)
+                casWord(enemy_tsw, TswActive, TswAborted, 4);
+            if (g_.abortSuspended)
+                g_.abortSuspended(*this, k);
+        };
+        hooks.enemyKarma = [this, k] {
+            work(2);  // reading the enemy descriptor
+            return g_.karma[k];
+        };
+        hooks.alertCheck = [this] { checkAlert(); };
+        PolkaManager::resolve(*this, g_.karma[core_], hooks,
+                              g_.cmPolicy);
+
+        // Conflict resolved (enemy committed, aborted, or killed):
+        // retire its bits from our CSTs so CAS-Commit can proceed.
+        HwContext &c = ctx();
+        c.cst.rw.clearBit(k);
+        c.cst.wr.clearBit(k);
+        c.cst.ww.clearBit(k);
+    });
+}
+
+std::uint64_t
+FlexTmThread::txRead(Addr a, unsigned size)
+{
+    std::uint64_t v = 0;
+    MemResult r = m_.memsys().access(core_, AccessType::TLoad, a, size,
+                                     &v, m_.scheduler().now());
+    charge(r.latency);
+    ++g_.karma[core_];
+    txConflictMask_ |= r.threatenedBy | r.exposedReadBy;
+    checkAlert();
+    if (mode_ == ConflictMode::Eager && r.hasConflict())
+        handleEagerConflicts(r.threatenedBy | r.exposedReadBy);
+    return v;
+}
+
+void
+FlexTmThread::txWrite(Addr a, std::uint64_t v, unsigned size)
+{
+    MemResult r = m_.memsys().access(core_, AccessType::TStore, a, size,
+                                     &v, m_.scheduler().now());
+    charge(r.latency);
+    ++g_.karma[core_];
+    txConflictMask_ |= r.threatenedBy | r.exposedReadBy;
+    checkAlert();
+    if (mode_ == ConflictMode::Eager && r.hasConflict())
+        handleEagerConflicts(r.threatenedBy | r.exposedReadBy);
+}
+
+bool
+FlexTmThread::commitTx()
+{
+    HwContext &c = ctx();
+    checkAlert();
+
+    // The Commit() routine of Figure 3: non-blocking, entirely local.
+    for (;;) {
+        // 1. copy-and-clear W-R and W-W registers
+        const std::uint64_t enemies =
+            c.cst.wr.copyAndClear() | c.cst.ww.copyAndClear();
+        txConflictMask_ |= enemies;
+        charge(1);
+
+        // 2-3. abort every conflicting peer by CASing its TSW.  The
+        // conflicting processor may also host suspended transactions
+        // (Conflict Management Table, Section 5) - the OS hook
+        // aborts those through their virtualized status words.
+        ConflictSummaryTable::forEach(enemies, [&](CoreId k) {
+            const Addr enemy_tsw = g_.tswOf[k];
+            if (enemy_tsw != 0 && k != core_) {
+                CasOutcome o =
+                    casWord(enemy_tsw, TswActive, TswAborted, 4);
+                if (o.success)
+                    ++m_.stats().counter("flextm.commit_kills");
+            }
+            if (g_.abortSuspended)
+                g_.abortSuspended(*this, k);
+        });
+
+        // 4. CAS-Commit our own status word
+        CommitResult cr = m_.memsys().casCommit(
+            core_, tswAddr_, TswActive, TswCommitted,
+            m_.scheduler().now());
+        charge(cr.latency);
+
+        switch (cr.outcome) {
+          case CommitOutcome::Committed: {
+            m_.stats().histogram("flextm.tx_conflicts")
+                .add(std::popcount(txConflictMask_));
+            // Drop transactional hardware state *before* the remote
+            // CST hygiene pass (which takes time): once the TSW says
+            // committed, our signatures must stop producing conflict
+            // hints or peers would record conflicts against a dead
+            // transaction.
+            const CstSet saved_cst = ctx().cst;
+            resetHwTxState();
+            selfCleanRemoteCsts(saved_cst);
+            return true;
+          }
+          case CommitOutcome::FailedCsts:
+            // 5. new conflicts arrived between the clear and the
+            // CAS-Commit: restart the routine.
+            continue;
+          case CommitOutcome::FailedAborted:
+            // An enemy beat us to our own TSW; the controller has
+            // already flash-aborted our speculative state.
+            throw TxAbort{};
+        }
+    }
+}
+
+void
+FlexTmThread::selfCleanRemoteCsts(const CstSet &cst)
+{
+    if (!g_.cstSelfClean)
+        return;
+    // CST registers are software-visible (Section 3.2); retiring our
+    // bits from peers avoids spuriously aborting their next
+    // transactions.
+    Cycles cost = 0;
+    ConflictSummaryTable::forEach(cst.rw.raw(), [&](CoreId j) {
+        m_.context(j).cst.wr.clearBit(core_);
+        cost += 2;
+    });
+    ConflictSummaryTable::forEach(cst.wr.raw(), [&](CoreId j) {
+        m_.context(j).cst.rw.clearBit(core_);
+        cost += 2;
+    });
+    ConflictSummaryTable::forEach(cst.ww.raw(), [&](CoreId j) {
+        m_.context(j).cst.ww.clearBit(core_);
+        cost += 2;
+    });
+    if (cost)
+        work(cost);
+}
+
+void
+FlexTmThread::resetHwTxState()
+{
+    HwContext &c = ctx();
+    c.rsig.clear();
+    c.wsig.clear();
+    c.cst.clearAll();
+    m_.memsys().arelease(core_, tswAddr_);
+    c.aou.acknowledge();
+    c.ot = nullptr;
+    c.inTx = false;
+    g_.tswOf[core_] = 0;
+    g_.karma[core_] = 0;
+    strongAborted_ = false;
+}
+
+void
+FlexTmThread::osSnapshot(OsSavedState &out)
+{
+    HwContext &c = ctx();
+    sim_assert(c.inTx, "osSnapshot outside a transaction");
+    out.rsig = c.rsig;
+    out.wsig = c.wsig;
+    out.cst = c.cst;
+}
+
+void
+FlexTmThread::osDetach()
+{
+    HwContext &c = ctx();
+    sim_assert(c.inTx, "osDetach outside a transaction");
+
+    // Spill TMI lines to the overflow table and drop TI lines, so
+    // any later conflicting access misses and reaches the directory
+    // where the summary signatures (already installed by the
+    // caller) are checked (Section 5).  The per-core signatures are
+    // still live during the spill, so conflicts in flight are
+    // caught by whichever mechanism sees them first.
+    c.ot = &ot_;
+    charge(m_.memsys().flushTransactionalState(core_,
+                                               m_.scheduler().now()));
+
+    // The abort instruction then clears the hardware state; the OT
+    // keeps the speculative values (it lives in virtual memory).
+    c.rsig.clear();
+    c.wsig.clear();
+    c.cst.clearAll();
+    m_.memsys().arelease(core_, tswAddr_);
+    c.aou.acknowledge();
+    c.ot = nullptr;
+    c.inTx = false;
+    g_.tswOf[core_] = 0;
+    work(60);  // OS save path
+    ++m_.stats().counter("os.suspends");
+}
+
+void
+FlexTmThread::osRestore(const OsSavedState &in)
+{
+    HwContext &c = ctx();
+    sim_assert(!c.inTx, "osRestore with a transaction active");
+    installHooks();
+    c.rsig = in.rsig;
+    c.wsig = in.wsig;
+    c.cst = in.cst;
+    if (!ot_.empty())
+        c.ot = &ot_;
+    c.inTx = true;
+    g_.tswOf[core_] = tswAddr_;
+    work(60);  // OS restore path
+
+    // Virtualized AOU: wake up in a handler that checks the TSW and
+    // re-ALoads it if still active (Section 5).
+    const auto tsw =
+        static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
+    if (tsw != TswActive)
+        throw TxAbort{};
+    charge(m_.memsys().aload(core_, tswAddr_, m_.scheduler().now()));
+    ++m_.stats().counter("os.resumes");
+}
+
+void
+FlexTmThread::abortCleanup()
+{
+    // Flash-abort speculative state (idempotent if CAS-Commit already
+    // did it) and discard the overflow table, then retire our bits
+    // from remote CSTs (after our own conflict hints have stopped).
+    FTRACE(Tm, m_.scheduler().now(), "core%u abort tx", core_);
+    charge(m_.memsys().abortTx(core_, m_.scheduler().now()));
+    const CstSet saved_cst = ctx().cst;
+    resetHwTxState();
+    selfCleanRemoteCsts(saved_cst);
+}
+
+} // namespace flextm

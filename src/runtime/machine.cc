@@ -1,0 +1,19 @@
+#include "runtime/machine.hh"
+
+namespace flextm
+{
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), mem_(cfg.memoryBytes)
+{
+    contexts_.reserve(cfg_.cores);
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        contexts_.emplace_back(static_cast<CoreId>(c),
+                               cfg_.signatureBits,
+                               cfg_.signatureHashes);
+    }
+    memsys_ =
+        std::make_unique<MemorySystem>(cfg_, mem_, contexts_, stats_);
+}
+
+} // namespace flextm

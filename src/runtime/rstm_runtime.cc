@@ -1,0 +1,239 @@
+#include "runtime/rstm_runtime.hh"
+
+#include "runtime/conflict_manager.hh"
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+namespace
+{
+
+bool
+isLocked(std::uint64_t word)
+{
+    return (word & 1) != 0;
+}
+
+CoreId
+lockOwner(std::uint64_t word)
+{
+    return static_cast<CoreId>(word >> 1);
+}
+
+} // anonymous namespace
+
+RstmGlobals::RstmGlobals(Machine &machine)
+    : m(machine), tswOf(machine.cores(), 0), karma(machine.cores(), 0)
+{
+    headerCount = 1u << 16;
+    headerBase =
+        m.memory().allocate(std::size_t{headerCount} * 8, lineBytes);
+}
+
+Addr
+RstmGlobals::headerFor(Addr a) const
+{
+    const std::uint64_t line = lineNumber(a) * 2654435761ULL;
+    return headerBase + (line & (headerCount - 1)) * 8;
+}
+
+RstmThread::RstmThread(Machine &m, RstmGlobals &g, ThreadId tid,
+                       CoreId core)
+    : TxThread(m, tid, core), g_(g)
+{
+    tswAddr_ = m_.memory().allocate(lineBytes, lineBytes);
+}
+
+RstmThread::~RstmThread() = default;
+
+std::uint64_t
+RstmThread::headerWordLocked() const
+{
+    return (std::uint64_t{core_} << 1) | 1;
+}
+
+void
+RstmThread::beginTx()
+{
+    readSet_.clear();
+    writeSet_.clear();
+    plainWrite(tswAddr_, TswActive, 4);
+    g_.tswOf[core_] = tswAddr_;
+    g_.karma[core_] = 0;
+    work(25);  // setjmp register checkpoint
+}
+
+void
+RstmThread::checkStatus()
+{
+    // Non-blocking STM: enemies abort us by CASing our status word;
+    // we poll it as part of each open (metadata bookkeeping).
+    const auto tsw =
+        static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
+    if (tsw == TswAborted)
+        throw TxAbort{};
+}
+
+void
+RstmThread::resolveOwner(Addr header)
+{
+    PolkaHooks hooks;
+    hooks.enemyActive = [this, header] {
+        return isLocked(plainRead(header, 8));
+    };
+    hooks.abortEnemy = [this, header] {
+        const std::uint64_t w = plainRead(header, 8);
+        if (!isLocked(w))
+            return;
+        const CoreId owner = lockOwner(w);
+        const Addr enemy_tsw = g_.tswOf[owner];
+        if (enemy_tsw != 0)
+            casWord(enemy_tsw, TswActive, TswAborted, 4);
+        // The victim's cleanup releases the header; wait for it.
+    };
+    hooks.enemyKarma = [this, header] {
+        const std::uint64_t w = plainRead(header, 8);
+        return isLocked(w) ? g_.karma[lockOwner(w)] : 0;
+    };
+    hooks.alertCheck = [this] { checkStatus(); };
+    PolkaManager::resolve(*this, g_.karma[core_], hooks);
+}
+
+void
+RstmThread::validateReadSet()
+{
+    // Invisible readers + self-validation: every open re-checks all
+    // previously opened objects for consistency.
+    for (const auto &[header, ver] : readSet_) {
+        const std::uint64_t cur = plainRead(header, 8);
+        if (cur == ver)
+            continue;
+        if (isLocked(cur) && lockOwner(cur) == core_) {
+            // We acquired this object after reading it: the version
+            // we saw must match the pre-acquisition version, else a
+            // writer committed in between.
+            bool consistent = false;
+            for (const auto &[line, e] : writeSet_) {
+                if (e.header == header) {
+                    consistent = (e.oldHeader == ver);
+                    break;
+                }
+            }
+            if (consistent)
+                continue;
+        }
+        throw TxAbort{};
+    }
+    ++m_.stats().counter("rstm.validations");
+}
+
+std::uint64_t
+RstmThread::txRead(Addr a, unsigned size)
+{
+    // Object-accessor indirection on every access (the paper's
+    // "metadata management" share of RSTM execution time).
+    work(3);
+    const Addr line = lineAlign(a);
+    auto wit = writeSet_.find(line);
+    if (wit != writeSet_.end()) {
+        // Read through the clone (metadata indirection).
+        return plainRead(wit->second.clone + (a - line), size);
+    }
+
+    const Addr header = g_.headerFor(a);
+    if (!readSet_.count(header)) {
+        checkStatus();
+        std::uint64_t h = plainRead(header, 8);
+        while (isLocked(h) && lockOwner(h) != core_) {
+            resolveOwner(header);
+            h = plainRead(header, 8);
+        }
+        readSet_.emplace(header, h);
+        ++g_.karma[core_];
+        validateReadSet();
+    }
+    return plainRead(a, size);
+}
+
+void
+RstmThread::txWrite(Addr a, std::uint64_t v, unsigned size)
+{
+    work(3);
+    const Addr line = lineAlign(a);
+    auto wit = writeSet_.find(line);
+    if (wit == writeSet_.end()) {
+        checkStatus();
+        const Addr header = g_.headerFor(a);
+        std::uint64_t old;
+        for (;;) {
+            old = plainRead(header, 8);
+            if (isLocked(old)) {
+                if (lockOwner(old) == core_)
+                    break;  // aliased header already ours
+                resolveOwner(header);
+                continue;
+            }
+            if (casWord(header, old, headerWordLocked(), 8).success)
+                break;
+        }
+
+        // Clone the object (the paper's "copying" overhead).
+        const Addr clone = m_.memory().allocate(lineBytes, lineBytes);
+        for (unsigned w = 0; w < lineBytes / 8; ++w) {
+            const std::uint64_t word = plainRead(line + 8 * w, 8);
+            plainWrite(clone + 8 * w, word, 8);
+        }
+        wit = writeSet_
+                  .emplace(line, WriteEntry{clone, header, old})
+                  .first;
+        ++g_.karma[core_];
+        validateReadSet();
+    }
+    plainWrite(wit->second.clone + (a - line), v, size);
+}
+
+void
+RstmThread::releaseWrites(bool committed)
+{
+    for (const auto &[line, e] : writeSet_) {
+        if (committed) {
+            // Install the clone as the new object payload.
+            for (unsigned w = 0; w < lineBytes / 8; ++w) {
+                const std::uint64_t word =
+                    plainRead(e.clone + 8 * w, 8);
+                plainWrite(line + 8 * w, word, 8);
+            }
+            plainWrite(e.header, e.oldHeader + 2, 8);
+        } else {
+            plainWrite(e.header, e.oldHeader, 8);
+        }
+        m_.memory().free(e.clone);
+    }
+    writeSet_.clear();
+}
+
+bool
+RstmThread::commitTx()
+{
+    checkStatus();
+    validateReadSet();
+    if (!casWord(tswAddr_, TswActive, TswCommitted, 4).success)
+        throw TxAbort{};
+    releaseWrites(true);
+    readSet_.clear();
+    g_.tswOf[core_] = 0;
+    g_.karma[core_] = 0;
+    return true;
+}
+
+void
+RstmThread::abortCleanup()
+{
+    releaseWrites(false);
+    readSet_.clear();
+    g_.tswOf[core_] = 0;
+    g_.karma[core_] = 0;
+}
+
+} // namespace flextm

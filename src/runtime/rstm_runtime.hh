@@ -1,0 +1,93 @@
+/**
+ * @file
+ * RSTM-style object-based non-blocking software TM (Marathe et
+ * al. [24]) - the legacy-hardware STM baseline of Workload-Set 1.
+ *
+ * Configuration matches the paper's: invisible readers with
+ * self-validation for conflict detection.  Objects are mapped to
+ * cache lines (the paper's workloads use small nodes of 1-4 lines);
+ * each object has a versioned header word.  The characteristic RSTM
+ * cost structure is reproduced with real simulated memory traffic:
+ *
+ *  - metadata indirection: a header access on every first touch;
+ *  - cloning: writers copy the object on acquire and copy back at
+ *    commit ("copying" in the paper's breakdown);
+ *  - self-validation: every new open re-validates all previously
+ *    opened objects (O(n^2) header loads per transaction - the 80%
+ *    validation share the paper reports for RandomGraph);
+ *  - non-blocking enemy aborts: an attacker CASes the victim's
+ *    per-transaction status word.
+ */
+
+#ifndef FLEXTM_RUNTIME_RSTM_RUNTIME_HH
+#define FLEXTM_RUNTIME_RSTM_RUNTIME_HH
+
+#include <map>
+#include <vector>
+
+#include "runtime/tx_thread.hh"
+
+namespace flextm
+{
+
+/** Machine-wide RSTM metadata. */
+struct RstmGlobals
+{
+    explicit RstmGlobals(Machine &m);
+
+    Machine &m;
+    Addr headerBase;      //!< per-object (line) header words
+    unsigned headerCount;
+    std::vector<Addr> tswOf;             //!< per core
+    std::vector<std::uint64_t> karma;    //!< per core
+
+    Addr headerFor(Addr a) const;
+};
+
+/** One RSTM thread. */
+class RstmThread : public TxThread
+{
+  public:
+    RstmThread(Machine &m, RstmGlobals &g, ThreadId tid, CoreId core);
+    ~RstmThread() override;
+
+    std::string name() const override { return "RSTM"; }
+
+    bool objectBased() const override { return true; }
+
+  protected:
+    void beginTx() override;
+    bool commitTx() override;
+    void abortCleanup() override;
+    std::uint64_t txRead(Addr a, unsigned size) override;
+    void txWrite(Addr a, std::uint64_t v, unsigned size) override;
+
+  private:
+    struct WriteEntry
+    {
+        Addr clone;
+        Addr header;
+        std::uint64_t oldHeader;
+    };
+
+    RstmGlobals &g_;
+    Addr tswAddr_;
+
+    /** (header addr -> version observed) for opened-for-read lines */
+    std::map<Addr, std::uint64_t> readSet_;
+    /** line base -> write entry */
+    std::map<Addr, WriteEntry> writeSet_;
+
+    void checkStatus();
+    /** Wait out / abort the owner of a locked header (Polka). */
+    void resolveOwner(Addr header);
+    /** Re-validate every opened-for-read header (self-validation). */
+    void validateReadSet();
+    void releaseWrites(bool committed);
+
+    std::uint64_t headerWordLocked() const;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_RUNTIME_RSTM_RUNTIME_HH

@@ -1,0 +1,302 @@
+#include "runtime/rtmf_runtime.hh"
+
+#include "runtime/conflict_manager.hh"
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+namespace
+{
+
+bool
+isLocked(std::uint64_t word)
+{
+    return (word & 1) != 0;
+}
+
+CoreId
+lockOwner(std::uint64_t word)
+{
+    return static_cast<CoreId>(word >> 1);
+}
+
+} // anonymous namespace
+
+RtmfGlobals::RtmfGlobals(Machine &machine)
+    : m(machine), tswOf(machine.cores(), 0), karma(machine.cores(), 0)
+{
+    headerCount = 1u << 16;
+    headerBase =
+        m.memory().allocate(std::size_t{headerCount} * 8, lineBytes);
+}
+
+Addr
+RtmfGlobals::headerFor(Addr a) const
+{
+    const std::uint64_t line = lineNumber(a) * 2654435761ULL;
+    return headerBase + (line & (headerCount - 1)) * 8;
+}
+
+RtmfThread::RtmfThread(Machine &m, RtmfGlobals &g, ThreadId tid,
+                       CoreId core)
+    : TxThread(m, tid, core), g_(g),
+      ot_(m.config().signatureBits, m.config().signatureHashes)
+{
+    tswAddr_ = m_.memory().allocate(lineBytes, lineBytes);
+}
+
+RtmfThread::~RtmfThread()
+{
+    HwContext &c = ctx();
+    if (c.ot == &ot_)
+        c.ot = nullptr;
+    c.otAllocTrap = nullptr;
+    c.strongAbort = nullptr;
+}
+
+void
+RtmfThread::beginTx()
+{
+    HwContext &c = ctx();
+    // (Re-)claim the core's trap vectors (threads may time-share).
+    c.otAllocTrap = [this] { ctx().ot = &ot_; };
+    // A plain remote write aborting us arrives via the wsig/rsig
+    // check (strong isolation).
+    c.strongAbort = [this](CoreId) {
+        ctx().aou.raise(AlertCause::RemoteUpdate, tswAddr_);
+        strongAborted_ = true;
+    };
+    readHeaders_.clear();
+    acquired_.clear();
+    openedLines_.clear();
+    strongAborted_ = false;
+
+    plainWrite(tswAddr_, TswActive, 4);
+    charge(m_.memsys().aload(core_, tswAddr_, m_.scheduler().now()));
+
+    c.rsig.clear();
+    c.wsig.clear();
+    c.cst.clearAll();
+    c.aou.acknowledge();
+    ot_.clear();
+    c.ot = nullptr;
+    c.inTx = true;
+
+    g_.tswOf[core_] = tswAddr_;
+    g_.karma[core_] = 0;
+    work(25);  // register checkpoint
+}
+
+void
+RtmfThread::checkAlert()
+{
+    HwContext &c = ctx();
+    if (!c.aou.alertPending())
+        return;
+    const Addr alert_addr = c.aou.lastAddr();
+    const AlertCause cause = c.aou.lastCause();
+    c.aou.acknowledge();
+
+    if (strongAborted_)
+        throw TxAbort{};
+
+    const auto tsw =
+        static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
+    if (tsw == TswAborted)
+        throw TxAbort{};
+
+    if (lineAlign(alert_addr) == lineAlign(tswAddr_)) {
+        if (cause == AlertCause::Capacity) {
+            charge(m_.memsys().aload(core_, tswAddr_,
+                                     m_.scheduler().now()));
+        }
+        return;
+    }
+
+    // A monitored object header changed: a writer acquired an object
+    // we read.  Alerts coalesce in hardware (one pending bit), so
+    // conservatively re-validate every watched header: wait out or
+    // abort live owners, then compare against the observed word - a
+    // committed writer leaves a bumped version behind and we must
+    // self-abort; an aborted one restores the old word and we live.
+    ++m_.stats().counter("rtmf.read_conflicts");
+    revalidateReadHeaders();
+}
+
+void
+RtmfThread::revalidateReadHeaders()
+{
+    for (const auto &[header, word] : readHeaders_) {
+        std::uint64_t cur = plainRead(header, 8);
+        while (isLocked(cur) && lockOwner(cur) != core_) {
+            resolveOwner(header);
+            cur = plainRead(header, 8);
+        }
+        if (isLocked(cur) && lockOwner(cur) == core_) {
+            auto it = acquired_.find(header);
+            if (it == acquired_.end() || it->second != word)
+                throw TxAbort{};
+        } else if (cur != word) {
+            throw TxAbort{};
+        }
+        // Re-establish the AOU watch lost to the invalidation.
+        charge(m_.memsys().aload(core_, header, m_.scheduler().now()));
+    }
+}
+
+void
+RtmfThread::resolveOwner(Addr header)
+{
+    PolkaHooks hooks;
+    hooks.enemyActive = [this, header] {
+        return isLocked(plainRead(header, 8));
+    };
+    hooks.abortEnemy = [this, header] {
+        const std::uint64_t w = plainRead(header, 8);
+        if (!isLocked(w))
+            return;
+        const Addr enemy_tsw = g_.tswOf[lockOwner(w)];
+        if (enemy_tsw != 0)
+            casWord(enemy_tsw, TswActive, TswAborted, 4);
+    };
+    hooks.enemyKarma = [this, header] {
+        const std::uint64_t w = plainRead(header, 8);
+        return isLocked(w) ? g_.karma[lockOwner(w)] : 0;
+    };
+    hooks.alertCheck = [this] { checkAlert(); };
+    PolkaManager::resolve(*this, g_.karma[core_], hooks);
+}
+
+void
+RtmfThread::openForRead(Addr a)
+{
+    const Addr header = g_.headerFor(a);
+    if (readHeaders_.count(header) || acquired_.count(header))
+        return;
+    std::uint64_t h = plainRead(header, 8);
+    while (isLocked(h) && lockOwner(h) != core_) {
+        resolveOwner(header);
+        h = plainRead(header, 8);
+    }
+    // AOU watch on the header: a remote acquisition alerts us -
+    // this replaces per-access validation entirely.
+    charge(m_.memsys().aload(core_, header, m_.scheduler().now()));
+    readHeaders_.emplace(header, h);
+    ++g_.karma[core_];
+}
+
+void
+RtmfThread::openForWrite(Addr a)
+{
+    const Addr header = g_.headerFor(a);
+    if (acquired_.count(header))
+        return;
+    std::uint64_t old;
+    for (;;) {
+        old = plainRead(header, 8);
+        if (isLocked(old)) {
+            if (lockOwner(old) == core_)
+                return;
+            resolveOwner(header);
+            continue;
+        }
+        if (casWord(header, old,
+                    (std::uint64_t{core_} << 1) | 1, 8)
+                .success) {
+            break;
+        }
+    }
+    acquired_.emplace(header, old);
+    ++g_.karma[core_];
+}
+
+std::uint64_t
+RtmfThread::txRead(Addr a, unsigned size)
+{
+    const Addr line = lineAlign(a);
+    if (!openedLines_.count(line)) {
+        checkAlert();
+        openForRead(a);
+        openedLines_.insert(line);
+    }
+    std::uint64_t v = 0;
+    MemResult r = m_.memsys().access(core_, AccessType::TLoad, a, size,
+                                     &v, m_.scheduler().now());
+    charge(r.latency);
+    checkAlert();
+    return v;
+}
+
+void
+RtmfThread::txWrite(Addr a, std::uint64_t v, unsigned size)
+{
+    checkAlert();
+    openForWrite(a);
+    MemResult r = m_.memsys().access(core_, AccessType::TStore, a, size,
+                                     &v, m_.scheduler().now());
+    charge(r.latency);
+    checkAlert();
+}
+
+void
+RtmfThread::releaseAll(bool committed)
+{
+    for (const auto &[header, old] : acquired_)
+        plainWrite(header, committed ? old + 2 : old, 8);
+    acquired_.clear();
+    for (const auto &[header, word] : readHeaders_) {
+        (void)word;
+        m_.memsys().arelease(core_, header);
+    }
+    readHeaders_.clear();
+    openedLines_.clear();
+}
+
+bool
+RtmfThread::commitTx()
+{
+    checkAlert();
+    // PDI flash commit via CAS-Commit, without the CST check (RTM-F
+    // has no CSTs).
+    CommitResult cr = m_.memsys().casCommit(core_, tswAddr_, TswActive,
+                                            TswCommitted,
+                                            m_.scheduler().now(),
+                                            /*check_csts=*/false);
+    charge(cr.latency);
+    if (cr.outcome != CommitOutcome::Committed)
+        throw TxAbort{};
+
+    releaseAll(true);
+    HwContext &c = ctx();
+    c.rsig.clear();
+    c.wsig.clear();
+    c.cst.clearAll();
+    m_.memsys().arelease(core_, tswAddr_);
+    c.aou.acknowledge();
+    c.ot = nullptr;
+    c.inTx = false;
+    g_.tswOf[core_] = 0;
+    g_.karma[core_] = 0;
+    return true;
+}
+
+void
+RtmfThread::abortCleanup()
+{
+    charge(m_.memsys().abortTx(core_, m_.scheduler().now()));
+    releaseAll(false);
+    HwContext &c = ctx();
+    c.rsig.clear();
+    c.wsig.clear();
+    c.cst.clearAll();
+    m_.memsys().arelease(core_, tswAddr_);
+    c.aou.acknowledge();
+    c.ot = nullptr;
+    c.inTx = false;
+    g_.tswOf[core_] = 0;
+    g_.karma[core_] = 0;
+    strongAborted_ = false;
+}
+
+} // namespace flextm

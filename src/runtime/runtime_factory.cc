@@ -1,0 +1,53 @@
+#include "runtime/runtime_factory.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+RuntimeFactory::RuntimeFactory(Machine &m, RuntimeKind kind)
+    : m_(m), kind_(kind)
+{
+    switch (kind_) {
+      case RuntimeKind::FlexTmEager:
+      case RuntimeKind::FlexTmLazy:
+        flex_ = std::make_unique<FlexTmGlobals>(m_);
+        break;
+      case RuntimeKind::Cgl:
+        cgl_ = std::make_unique<CglGlobals>(m_);
+        break;
+      case RuntimeKind::Tl2:
+        tl2_ = std::make_unique<Tl2Globals>(m_);
+        break;
+      case RuntimeKind::Rstm:
+        rstm_ = std::make_unique<RstmGlobals>(m_);
+        break;
+      case RuntimeKind::RtmF:
+        rtmf_ = std::make_unique<RtmfGlobals>(m_);
+        break;
+    }
+}
+
+std::unique_ptr<TxThread>
+RuntimeFactory::makeThread(ThreadId tid, CoreId core)
+{
+    switch (kind_) {
+      case RuntimeKind::FlexTmEager:
+        return std::make_unique<FlexTmThread>(m_, *flex_, tid, core,
+                                              ConflictMode::Eager);
+      case RuntimeKind::FlexTmLazy:
+        return std::make_unique<FlexTmThread>(m_, *flex_, tid, core,
+                                              ConflictMode::Lazy);
+      case RuntimeKind::Cgl:
+        return std::make_unique<CglThread>(m_, *cgl_, tid, core);
+      case RuntimeKind::Tl2:
+        return std::make_unique<Tl2Thread>(m_, *tl2_, tid, core);
+      case RuntimeKind::Rstm:
+        return std::make_unique<RstmThread>(m_, *rstm_, tid, core);
+      case RuntimeKind::RtmF:
+        return std::make_unique<RtmfThread>(m_, *rtmf_, tid, core);
+    }
+    panic("unknown runtime kind");
+}
+
+} // namespace flextm

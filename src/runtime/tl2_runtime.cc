@@ -1,0 +1,215 @@
+#include "runtime/tl2_runtime.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+namespace
+{
+
+/** Even values are versions; odd values are lock words. */
+bool
+isLocked(std::uint64_t word)
+{
+    return (word & 1) != 0;
+}
+
+CoreId
+lockOwner(std::uint64_t word)
+{
+    return static_cast<CoreId>(word >> 1);
+}
+
+} // anonymous namespace
+
+Tl2Globals::Tl2Globals(Machine &machine) : m(machine)
+{
+    clockAddr = m.memory().allocate(lineBytes, lineBytes);
+    lockCount = 1u << 16;
+    lockTableBase =
+        m.memory().allocate(std::size_t{lockCount} * 8, lineBytes);
+}
+
+Addr
+Tl2Globals::lockFor(Addr a) const
+{
+    const std::uint64_t stripe = (a >> 3) * 2654435761ULL;
+    return lockTableBase + (stripe & (lockCount - 1)) * 8;
+}
+
+Tl2Thread::Tl2Thread(Machine &m, Tl2Globals &g, ThreadId tid,
+                     CoreId core)
+    : TxThread(m, tid, core), g_(g)
+{
+    logBase_ = m_.memory().allocate(64 * 1024, lineBytes);
+}
+
+std::uint64_t
+Tl2Thread::myLockWord() const
+{
+    return (std::uint64_t{core_} << 1) | 1;
+}
+
+void
+Tl2Thread::logAppend(unsigned words)
+{
+    // Model the read/write-set log append as real stores into the
+    // thread's log region (they mostly hit the L1, as in real TL2,
+    // but still cost issue slots and occasional misses).
+    for (unsigned i = 0; i < words; ++i) {
+        const Addr slot = logBase_ + (logSlot_ % (64 * 1024 / 8)) * 8;
+        ++logSlot_;
+        plainWrite(slot, 0xA0A0A0A0ULL, 8);
+    }
+}
+
+void
+Tl2Thread::beginTx()
+{
+    writeSet_.clear();
+    readSet_.clear();
+    held_.clear();
+    wsFilter_ = 0;
+    logSlot_ = 0;
+    rv_ = plainRead(g_.clockAddr, 8);
+    work(25);  // setjmp register checkpoint
+}
+
+std::uint64_t
+Tl2Thread::txRead(Addr a, unsigned size)
+{
+    // Write-set lookup (Bloom filter + log probe on a hit).
+    work(1);
+    const std::uint64_t fbit =
+        std::uint64_t{1} << ((a >> 3) & 63);
+    if ((wsFilter_ & fbit) != 0) {
+        auto it = writeSet_.find(a);
+        if (it != writeSet_.end()) {
+            work(3);
+            return it->second.value;
+        }
+    }
+
+    const Addr lock = g_.lockFor(a);
+    const std::uint64_t l1 = plainRead(lock, 8);
+    if (isLocked(l1) || l1 > rv_)
+        throw TxAbort{};
+
+    const std::uint64_t v = plainRead(a, size);
+
+    const std::uint64_t l2 = plainRead(lock, 8);
+    if (l2 != l1)
+        throw TxAbort{};
+
+    readSet_.emplace_back(lock, l1);
+    logAppend(1);
+    return v;
+}
+
+void
+Tl2Thread::txWrite(Addr a, std::uint64_t v, unsigned size)
+{
+    writeSet_[a] = WsEntry{v, size};
+    wsFilter_ |= std::uint64_t{1} << ((a >> 3) & 63);
+    logAppend(2);
+}
+
+void
+Tl2Thread::releaseHeld(bool restore_old, std::uint64_t wv)
+{
+    for (const auto &[lock, old] : held_)
+        plainWrite(lock, restore_old ? old : wv, 8);
+    held_.clear();
+}
+
+bool
+Tl2Thread::commitTx()
+{
+    // Read-only transactions commit without further work (their
+    // per-read validations against rv suffice).
+    if (writeSet_.empty())
+        return true;
+
+    // Acquire stripe locks in address order (deadlock freedom).
+    std::vector<Addr> locks;
+    locks.reserve(writeSet_.size());
+    for (const auto &[a, e] : writeSet_)
+        locks.push_back(g_.lockFor(a));
+    std::sort(locks.begin(), locks.end());
+    locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+
+    for (Addr lock : locks) {
+        unsigned tries = 0;
+        for (;;) {
+            const std::uint64_t cur = plainRead(lock, 8);
+            if (!isLocked(cur)) {
+                if (casWord(lock, cur, myLockWord(), 8).success) {
+                    held_.emplace_back(lock, cur);
+                    break;
+                }
+            } else if (lockOwner(cur) == core_) {
+                break;  // already ours (aliasing stripes)
+            }
+            if (++tries > 4) {
+                releaseHeld(true, 0);
+                throw TxAbort{};
+            }
+            work(16u << tries);
+        }
+    }
+
+    // Bump the global clock.
+    std::uint64_t wv;
+    for (;;) {
+        const std::uint64_t c = plainRead(g_.clockAddr, 8);
+        if (casWord(g_.clockAddr, c, c + 2, 8).success) {
+            wv = c + 2;
+            break;
+        }
+    }
+
+    // Validate the read set unless nothing moved under us.
+    if (wv != rv_ + 2) {
+        for (const auto &[lock, ver] : readSet_) {
+            std::uint64_t cur = plainRead(lock, 8);
+            if (isLocked(cur)) {
+                if (lockOwner(cur) != core_) {
+                    releaseHeld(true, 0);
+                    throw TxAbort{};
+                }
+                // Locked by us: validate against the pre-lock word
+                // (the version the stripe had when we acquired it).
+                for (const auto &[haddr, old] : held_) {
+                    if (haddr == lock) {
+                        cur = old;
+                        break;
+                    }
+                }
+            }
+            if (isLocked(cur) || cur != ver) {
+                releaseHeld(true, 0);
+                throw TxAbort{};
+            }
+        }
+    }
+
+    // Write back the redo log and release with the new version.
+    for (const auto &[a, e] : writeSet_)
+        plainWrite(a, e.value, e.size);
+    releaseHeld(false, wv);
+    return true;
+}
+
+void
+Tl2Thread::abortCleanup()
+{
+    sim_assert(held_.empty(), "aborted with stripe locks held");
+    writeSet_.clear();
+    readSet_.clear();
+    wsFilter_ = 0;
+}
+
+} // namespace flextm

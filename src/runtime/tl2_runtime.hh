@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TL2-style word-based software TM (Dice, Shalev & Shavit [11]) -
+ * the blocking-STM baseline of Workload-Set 2 (Figure 4f-g).
+ *
+ * Classic GV1 TL2: a global version clock; per-stripe versioned
+ * write-locks; invisible readers validated against the clock; lazy
+ * versioning in a redo log; commit-time lock acquisition, clock
+ * bump, read-set validation, write-back, and versioned release.
+ *
+ * All metadata traffic (lock words, the clock, read/write-set log
+ * appends) is issued as real simulated memory accesses, so TL2's
+ * bookkeeping shows up as genuine cache/coherence work - exactly the
+ * overhead the paper's comparison is about ("the bookkeeping required
+ * prior to the first read, for post-read validation, and at commit
+ * time").
+ */
+
+#ifndef FLEXTM_RUNTIME_TL2_RUNTIME_HH
+#define FLEXTM_RUNTIME_TL2_RUNTIME_HH
+
+#include <map>
+#include <vector>
+
+#include "runtime/tx_thread.hh"
+
+namespace flextm
+{
+
+/** Machine-wide TL2 metadata. */
+struct Tl2Globals
+{
+    explicit Tl2Globals(Machine &m);
+
+    Machine &m;
+    Addr clockAddr;        //!< global version clock (8 bytes)
+    Addr lockTableBase;    //!< stripe lock words
+    unsigned lockCount;    //!< power of two
+
+    /** Lock word for the stripe covering address @p a. */
+    Addr lockFor(Addr a) const;
+};
+
+/** One TL2 thread. */
+class Tl2Thread : public TxThread
+{
+  public:
+    Tl2Thread(Machine &m, Tl2Globals &g, ThreadId tid, CoreId core);
+
+    std::string name() const override { return "TL2"; }
+
+  protected:
+    void beginTx() override;
+    bool commitTx() override;
+    void abortCleanup() override;
+    std::uint64_t txRead(Addr a, unsigned size) override;
+    void txWrite(Addr a, std::uint64_t v, unsigned size) override;
+
+  private:
+    struct WsEntry
+    {
+        std::uint64_t value;
+        unsigned size;
+    };
+
+    Tl2Globals &g_;
+    Addr logBase_;          //!< per-thread log region (bookkeeping)
+    unsigned logSlot_ = 0;
+    std::uint64_t rv_ = 0;  //!< read version at begin
+
+    /** Redo log, keyed by address (host-side index; the simulated
+     *  log writes model the memory cost). */
+    std::map<Addr, WsEntry> writeSet_;
+    std::uint64_t wsFilter_ = 0;  //!< cheap per-txn Bloom filter
+
+    /** Read set: (lock word address, observed version). */
+    std::vector<std::pair<Addr, std::uint64_t>> readSet_;
+
+    /** Locks held during commit: (lock addr, pre-lock word). */
+    std::vector<std::pair<Addr, std::uint64_t>> held_;
+
+    std::uint64_t myLockWord() const;
+    void logAppend(unsigned words);
+    void releaseHeld(bool restore_old, std::uint64_t wv);
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_RUNTIME_TL2_RUNTIME_HH

@@ -1,0 +1,265 @@
+#include "runtime/tx_thread.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+TxThread::TxThread(Machine &m, ThreadId tid, CoreId core)
+    : m_(m), tid_(tid), core_(core),
+      rng_(m.deriveSeed(0x1000 + tid))
+{
+}
+
+TxThread::~TxThread() = default;
+
+void
+TxThread::charge(Cycles lat)
+{
+    Scheduler &s = m_.scheduler();
+    s.advance(lat);
+    s.yield();
+}
+
+void
+TxThread::work(Cycles n)
+{
+    if (n > 0)
+        charge(n);
+}
+
+std::uint64_t
+TxThread::plainRead(Addr a, unsigned size)
+{
+    std::uint64_t v = 0;
+    MemResult r = m_.memsys().access(core_, AccessType::Load, a, size,
+                                     &v, m_.scheduler().now());
+    charge(r.latency);
+    return v;
+}
+
+std::uint64_t
+TxThread::plainReadNoSpin(Addr a, unsigned size)
+{
+    return plainRead(a, size);
+}
+
+void
+TxThread::plainWrite(Addr a, std::uint64_t v, unsigned size)
+{
+    MemResult r = m_.memsys().access(core_, AccessType::Store, a, size,
+                                     &v, m_.scheduler().now());
+    charge(r.latency);
+}
+
+CasOutcome
+TxThread::casWord(Addr a, std::uint64_t expected, std::uint64_t desired,
+                  unsigned size)
+{
+    CasOutcome o = m_.memsys().cas(core_, a, expected, desired, size,
+                                   m_.scheduler().now());
+    charge(o.latency);
+    return o;
+}
+
+CasOutcome
+TxThread::atomicCas(Addr a, std::uint64_t expected,
+                    std::uint64_t desired, unsigned size)
+{
+    sim_assert(!inTx_ || paused_,
+               "atomicCas inside a transaction (use store instead)");
+    return casWord(a, expected, desired, size);
+}
+
+std::uint64_t
+TxThread::read(Addr a, unsigned size)
+{
+    // Address generation / compare / branch instructions that
+    // surround every data access in real code (IPC = 1).
+    m_.scheduler().advance(2);
+    return (inTx_ && !paused_) ? txRead(a, size) : plainRead(a, size);
+}
+
+void
+TxThread::write(Addr a, std::uint64_t v, unsigned size)
+{
+    m_.scheduler().advance(2);
+    if (inTx_ && !paused_) {
+        if (!nestMarks_.empty()) {
+            // Closed nesting: log the pre-write speculative value so
+            // abortNested() can roll this level back.
+            const std::uint64_t old = txRead(a, size);
+            nestUndo_.push_back(UndoEntry{a, size, old});
+        }
+        txWrite(a, v, size);
+    } else {
+        plainWrite(a, v, size);
+    }
+}
+
+bool
+TxThread::txnNested(const std::function<void()> &body)
+{
+    if (!inTx_) {
+        // Outermost level: flat transaction semantics.
+        txn(body);
+        return true;
+    }
+    nestMarks_.push_back(nestUndo_.size());
+    try {
+        body();
+    } catch (const NestedAbort &) {
+        // Roll back this level's writes, newest first.
+        const std::size_t mark = nestMarks_.back();
+        while (nestUndo_.size() > mark) {
+            const UndoEntry e = nestUndo_.back();
+            nestUndo_.pop_back();
+            txWrite(e.addr, e.old, e.size);
+        }
+        nestMarks_.pop_back();
+        ++m_.stats().counter("tx.nested_aborts");
+        return false;
+    } catch (...) {
+        // Full abort (TxAbort) or other unwind: the whole
+        // transaction is going down; drop this level's bookkeeping.
+        nestMarks_.pop_back();
+        throw;
+    }
+    nestMarks_.pop_back();
+    ++m_.stats().counter("tx.nested_commits");
+    return true;
+}
+
+void
+TxThread::abortNested()
+{
+    sim_assert(inTx_ && !nestMarks_.empty(),
+               "abortNested outside a nested transaction");
+    throw NestedAbort{};
+}
+
+void
+TxThread::pauseTx()
+{
+    sim_assert(inTx_ && !paused_, "pauseTx outside a transaction");
+    paused_ = true;
+    work(4);  // mode-switch instructions
+}
+
+void
+TxThread::unpauseTx()
+{
+    sim_assert(inTx_ && paused_, "unpauseTx without pauseTx");
+    paused_ = false;
+    work(4);
+}
+
+void
+TxThread::restartTx()
+{
+    sim_assert(inTx_, "restartTx outside a transaction");
+    throw TxAbort{};
+}
+
+Addr
+TxThread::alloc(std::size_t bytes, std::size_t align)
+{
+    // Allocator bookkeeping cost (paper workloads use per-thread
+    // pools; a constant small charge approximates the fast path).
+    charge(10);
+    return m_.memory().allocate(bytes, align);
+}
+
+void
+TxThread::freeMem(Addr a)
+{
+    charge(10);
+    m_.memory().free(a);
+}
+
+void
+TxThread::txFree(Addr a)
+{
+    if (inTx_)
+        deferredFrees_.push_back(a);
+    else
+        freeMem(a);
+}
+
+void
+TxThread::backoffBeforeRetry()
+{
+    // Randomized exponential back-off, capped; matches the Polka
+    // back-off flavour used across all runtimes (Section 7.2).
+    const unsigned shift = attempt_ < 10 ? attempt_ : 10;
+    const Cycles base = 32;
+    const Cycles window = base << shift;
+    work(window / 2 + rng_.nextInt(window));
+}
+
+void
+TxThread::txn(const std::function<void()> &body)
+{
+    sim_assert(!inTx_, "nested txn() (use subsumption inside body)");
+    attempt_ = 0;
+    for (;;) {
+        bool committed = false;
+        try {
+            beginTx();
+            inTx_ = true;
+            body();
+            sim_assert(!paused_,
+                       "transaction body returned while paused");
+            committed = commitTx();
+        } catch (const TxAbort &) {
+            committed = false;
+            paused_ = false;
+            nestUndo_.clear();
+            nestMarks_.clear();
+        }
+        if (committed) {
+            inTx_ = false;
+            nestUndo_.clear();
+            nestMarks_.clear();
+            for (Addr a : deferredFrees_)
+                freeMem(a);
+            deferredFrees_.clear();
+            ++commits_;
+            ++m_.stats().counter("tx.commits");
+            return;
+        }
+        inTx_ = false;
+        // Nodes unlinked by the failed attempt stay reachable in the
+        // restored state; leaking them is the only safe choice.
+        deferredFrees_.clear();
+        ++aborts_;
+        ++m_.stats().counter("tx.aborts");
+        abortCleanup();
+        ++attempt_;
+        if (onAbortYield_)
+            onAbortYield_();
+        backoffBeforeRetry();
+    }
+}
+
+const char *
+runtimeKindName(RuntimeKind k)
+{
+    switch (k) {
+      case RuntimeKind::FlexTmEager:
+        return "FlexTM-Eager";
+      case RuntimeKind::FlexTmLazy:
+        return "FlexTM-Lazy";
+      case RuntimeKind::Cgl:
+        return "CGL";
+      case RuntimeKind::Rstm:
+        return "RSTM";
+      case RuntimeKind::Tl2:
+        return "TL2";
+      case RuntimeKind::RtmF:
+        return "RTM-F";
+    }
+    return "?";
+}
+
+} // namespace flextm

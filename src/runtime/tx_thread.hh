@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The per-thread transactional programming interface.
+ *
+ * Workloads are written once against TxThread and run unchanged on
+ * any of the five runtimes (FlexTM eager/lazy, CGL, RSTM, TL2,
+ * RTM-F).  Inside txn(), read()/write() carry transactional
+ * semantics (following the paper's subsumption convention: ordinary
+ * accesses inside a transaction are interpreted transactionally);
+ * outside, they are plain coherent accesses.
+ *
+ * Aborts are modelled with the TxAbort exception: runtime internals
+ * throw it when the transaction must restart, txn() catches it, runs
+ * the runtime's cleanup and back-off, and re-executes the body.
+ */
+
+#ifndef FLEXTM_RUNTIME_TX_THREAD_HH
+#define FLEXTM_RUNTIME_TX_THREAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/machine.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Thrown by runtime internals to restart the current transaction. */
+struct TxAbort
+{
+};
+
+/** Thrown by abortNested() to unwind one closed-nesting level. */
+struct NestedAbort
+{
+};
+
+/** Transaction status word values (Table 1). */
+enum TswValue : std::uint32_t
+{
+    TswActive = 1,
+    TswCommitted = 2,
+    TswAborted = 3
+};
+
+/** Abstract per-thread runtime handle. */
+class TxThread
+{
+  public:
+    TxThread(Machine &m, ThreadId tid, CoreId core);
+    virtual ~TxThread();
+
+    TxThread(const TxThread &) = delete;
+    TxThread &operator=(const TxThread &) = delete;
+
+    /** Execute @p body as an atomic transaction, retrying on abort
+     *  until it commits. */
+    void txn(const std::function<void()> &body);
+
+    /**
+     * Closed-nested transaction (the nesting extension of
+     * Section 9).  Outside a transaction it behaves exactly like
+     * txn().  Inside one, the nested body's writes are undo-logged:
+     * abortNested() (or a NestedAbort escaping @p body) rolls back
+     * only the nested level's writes and txnNested returns false -
+     * the surrounding transaction continues.  External aborts
+     * (conflicts) still restart the whole outermost transaction:
+     * signatures cannot shrink, so the conflict footprint is that of
+     * the flat transaction (a faithful model of what FlexTM hardware
+     * could support without per-level T bits).
+     *
+     * @return true if the nested level completed, false if it was
+     *         rolled back via abortNested().
+     */
+    bool txnNested(const std::function<void()> &body);
+
+    /** Abort the innermost nested level (no effect on the parent). */
+    [[noreturn]] void abortNested();
+
+    /** Read @p size bytes at @p a (transactional inside txn()). */
+    std::uint64_t read(Addr a, unsigned size);
+
+    /** Write @p size bytes at @p a (transactional inside txn()). */
+    void write(Addr a, std::uint64_t v, unsigned size);
+
+    template <typename T>
+    T
+    load(Addr a)
+    {
+        static_assert(sizeof(T) <= 8);
+        return static_cast<T>(read(a, sizeof(T)));
+    }
+
+    template <typename T>
+    void
+    store(Addr a, T v)
+    {
+        static_assert(sizeof(T) <= 8);
+        write(a, static_cast<std::uint64_t>(v), sizeof(T));
+    }
+
+    /** Charge @p n cycles of non-memory computation (IPC = 1). */
+    void work(Cycles n);
+
+    /**
+     * Atomic compare-and-swap outside transactions (locks, status
+     * words, lock-free updates racing with transactions under
+     * strong isolation).  Must not be used inside txn().
+     */
+    CasOutcome atomicCas(Addr a, std::uint64_t expected,
+                         std::uint64_t desired, unsigned size);
+
+    /** Simulated heap allocation (charges allocator work). */
+    Addr alloc(std::size_t bytes, std::size_t align = 8);
+    void freeMem(Addr a);
+
+    /**
+     * Transaction-safe free: deferred until the surrounding
+     * transaction commits (dropped - leaked - if it aborts, since
+     * the node may still be reachable in the pre-transaction state).
+     * Outside a transaction it frees immediately.
+     */
+    void txFree(Addr a);
+
+    /** True while executing inside txn(). */
+    bool inTx() const { return inTx_; }
+
+    /** @name Transactional pause / restart (Section 3.5)
+     *
+     * The paper's programming model supports "transactional pause
+     * and restart": inside a paused region, ordinary loads and
+     * stores bypass transactional semantics (the special
+     * non-transactional instructions) - useful for updating software
+     * metadata, thread-private buffers, or open-nesting-style
+     * side effects that must not roll back or conflict. */
+    /// @{
+    /** Enter a paused (non-transactional) region. */
+    void pauseTx();
+    /** Leave the paused region, resuming transactional semantics. */
+    void unpauseTx();
+    bool paused() const { return paused_; }
+    /** Explicitly restart the current transaction from the top. */
+    [[noreturn]] void restartTx();
+    /// @}
+
+    Machine &machine() { return m_; }
+    CoreId core() const { return core_; }
+    ThreadId tid() const { return tid_; }
+    Rng &rng() { return rng_; }
+
+    std::uint64_t commits() const { return commits_; }
+    std::uint64_t aborts() const { return aborts_; }
+
+    /**
+     * Multiprogramming hook (Section 7.4, Figure 5e-f): invoked
+     * after every abort, before the retry back-off, so a harness can
+     * yield the processor to a co-scheduled compute-bound task.
+     */
+    void
+    setOnAbortYield(std::function<void()> f)
+    {
+        onAbortYield_ = std::move(f);
+    }
+
+    /** Name of the runtime (for reports). */
+    virtual std::string name() const = 0;
+
+    /**
+     * True for object-based runtimes (RSTM, RTM-F) whose programming
+     * model routes shared-object accesses through per-object
+     * metadata even outside transactions (smart-pointer
+     * indirection).  Data-parallel workloads (Delaunay) use this to
+     * model the extra metadata cache misses the paper attributes to
+     * those systems.
+     */
+    virtual bool objectBased() const { return false; }
+
+  protected:
+    /** @name Runtime-specific transaction machinery */
+    /// @{
+    virtual void beginTx() = 0;
+    /** Attempt to commit; true on success.  May throw TxAbort. */
+    virtual bool commitTx() = 0;
+    /** Undo runtime state after an abort (flash state, locks...). */
+    virtual void abortCleanup() = 0;
+    virtual std::uint64_t txRead(Addr a, unsigned size) = 0;
+    virtual void txWrite(Addr a, std::uint64_t v, unsigned size) = 0;
+    /// @}
+
+    /** Back-off between retries; default randomized exponential. */
+    virtual void backoffBeforeRetry();
+
+    /** @name Plain coherent accesses (charge real protocol time) */
+    /// @{
+    std::uint64_t plainRead(Addr a, unsigned size);
+    void plainWrite(Addr a, std::uint64_t v, unsigned size);
+    /** Plain read that does not retain the line (used for spinning
+     *  on remote words without perturbing the owner). */
+    std::uint64_t plainReadNoSpin(Addr a, unsigned size);
+    CasOutcome casWord(Addr a, std::uint64_t expected,
+                       std::uint64_t desired, unsigned size);
+    /// @}
+
+    /** Charge @p lat cycles and yield to the scheduler. */
+    void charge(Cycles lat);
+
+    Machine &m_;
+    ThreadId tid_;
+    CoreId core_;
+    Rng rng_;
+    bool inTx_ = false;
+    bool paused_ = false;
+    unsigned attempt_ = 0;   //!< retries of the current transaction
+    std::uint64_t commits_ = 0;
+    std::uint64_t aborts_ = 0;
+    std::function<void()> onAbortYield_;
+    std::vector<Addr> deferredFrees_;
+
+    /** Closed-nesting support: software undo log of (addr, size,
+     *  pre-write speculative value), plus per-level start marks. */
+    struct UndoEntry
+    {
+        Addr addr;
+        unsigned size;
+        std::uint64_t old;
+    };
+    std::vector<UndoEntry> nestUndo_;
+    std::vector<std::size_t> nestMarks_;
+};
+
+/** Runtime selector for factories and harnesses. */
+enum class RuntimeKind
+{
+    FlexTmEager,
+    FlexTmLazy,
+    Cgl,
+    Rstm,
+    Tl2,
+    RtmF
+};
+
+const char *runtimeKindName(RuntimeKind k);
+
+} // namespace flextm
+
+#endif // FLEXTM_RUNTIME_TX_THREAD_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Machine configuration (defaults follow Table 3a of the paper:
+ * 16-way CMP, private 32 KB 2-way L1s, shared 8 MB 8-way L2, 64-byte
+ * blocks, 2 Kbit signatures, 4-ary tree interconnect).
+ */
+
+#ifndef FLEXTM_SIM_CONFIG_HH
+#define FLEXTM_SIM_CONFIG_HH
+
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Static description of the simulated CMP. */
+struct MachineConfig
+{
+    /** Number of processor cores. */
+    unsigned cores = 16;
+
+    /** Private L1 data cache geometry. */
+    std::size_t l1Bytes = 32 * 1024;
+    unsigned l1Ways = 2;
+    Cycles l1HitLatency = 1;
+    /** Victim buffer entries appended to the L1 (Table 3a: 32). */
+    unsigned victimEntries = 32;
+
+    /** Shared L2 geometry. */
+    std::size_t l2Bytes = 8 * 1024 * 1024;
+    unsigned l2Ways = 8;
+    unsigned l2Banks = 4;
+    Cycles l2HitLatency = 20;
+
+    /** Main memory access latency (Table 3a: 250 cycles). */
+    Cycles memLatency = 250;
+
+    /** Per-link latency of the 4-ary tree interconnect. */
+    Cycles linkLatency = 1;
+    unsigned interconnectRadix = 4;
+
+    /** Bloom signature width in bits (Table 3a: 2 Kbit). */
+    unsigned signatureBits = 2048;
+    /** Number of independent hash functions / banks. */
+    unsigned signatureHashes = 4;
+
+    /** Seed for all deterministic randomness in the machine. */
+    std::uint64_t seed = 1;
+
+    /** True when the unbounded-victim-buffer ablation is active:
+     *  speculative (TMI) lines are never evicted, so the overflow
+     *  table is never engaged (Section 7.3 overflow study). */
+    bool unboundedVictimBuffer = false;
+
+    /** Simulated memory image size. */
+    std::size_t memoryBytes = 256u << 20;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_SIM_CONFIG_HH

@@ -1,0 +1,113 @@
+#include "sim/sim_memory.hh"
+
+namespace flextm
+{
+
+SimMemory::SimMemory(std::size_t bytes) : image_(bytes, 0)
+{
+    sim_assert(bytes >= (1u << 20), "memory image too small");
+    // Reserve the first line so simulated address 0 stays invalid.
+    freeList_.emplace(lineBytes, bytes - lineBytes);
+}
+
+Addr
+SimMemory::allocate(std::size_t bytes, std::size_t align)
+{
+    sim_assert(bytes > 0);
+    sim_assert(align >= 1 && (align & (align - 1)) == 0,
+               "alignment must be a power of two");
+    if (align < 8)
+        align = 8;
+    // Round sizes to 8 bytes so blocks stay aligned after splits.
+    bytes = (bytes + 7) & ~std::size_t{7};
+
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        const Addr base = it->first;
+        const std::size_t avail = it->second;
+        const Addr aligned = (base + align - 1) & ~(Addr{align} - 1);
+        const std::size_t pad = aligned - base;
+        if (avail < pad + bytes)
+            continue;
+
+        freeList_.erase(it);
+        if (pad > 0)
+            freeList_.emplace(base, pad);
+        const std::size_t tail = avail - pad - bytes;
+        if (tail > 0)
+            freeList_.emplace(aligned + bytes, tail);
+
+        blocks_.emplace(aligned, bytes);
+        allocated_ += bytes;
+        return aligned;
+    }
+    fatal("simulated heap exhausted (%zu live bytes, request %zu)",
+          allocated_, bytes);
+}
+
+void
+SimMemory::free(Addr addr)
+{
+    auto it = blocks_.find(addr);
+    sim_assert(it != blocks_.end(), "free of unallocated addr %llu",
+               static_cast<unsigned long long>(addr));
+    std::size_t bytes = it->second;
+    allocated_ -= bytes;
+    blocks_.erase(it);
+
+    // Coalesce with successor.
+    auto next = freeList_.lower_bound(addr);
+    if (next != freeList_.end() && addr + bytes == next->first) {
+        bytes += next->second;
+        next = freeList_.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (next != freeList_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            prev->second += bytes;
+            return;
+        }
+    }
+    freeList_.emplace(addr, bytes);
+}
+
+void
+SimMemory::checkRange(Addr addr, std::size_t n) const
+{
+    sim_assert(addr != 0, "null simulated pointer dereference");
+    sim_assert(addr + n <= image_.size(),
+               "simulated access out of range: %llu+%zu",
+               static_cast<unsigned long long>(addr), n);
+}
+
+void
+SimMemory::read(Addr addr, void *out, std::size_t n) const
+{
+    checkRange(addr, n);
+    std::memcpy(out, image_.data() + addr, n);
+}
+
+void
+SimMemory::write(Addr addr, const void *in, std::size_t n)
+{
+    checkRange(addr, n);
+    std::memcpy(image_.data() + addr, in, n);
+}
+
+const std::uint8_t *
+SimMemory::linePtr(Addr line_base) const
+{
+    checkRange(line_base, lineBytes);
+    sim_assert((line_base & lineMask) == 0);
+    return image_.data() + line_base;
+}
+
+std::uint8_t *
+SimMemory::linePtr(Addr line_base)
+{
+    checkRange(line_base, lineBytes);
+    sim_assert((line_base & lineMask) == 0);
+    return image_.data() + line_base;
+}
+
+} // namespace flextm

@@ -1,0 +1,105 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+void
+Histogram::add(std::uint64_t v)
+{
+    if (!samples_.empty() && v < samples_.back())
+        sorted_ = false;
+    samples_.push_back(v);
+    sum_ += v;
+}
+
+void
+Histogram::clear()
+{
+    samples_.clear();
+    sorted_ = true;
+    sum_ = 0;
+}
+
+void
+Histogram::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    if (samples_.empty())
+        return 0;
+    ensureSorted();
+    return samples_.front();
+}
+
+std::uint64_t
+Histogram::max() const
+{
+    if (samples_.empty())
+        return 0;
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return static_cast<double>(sum_) /
+           static_cast<double>(samples_.size());
+}
+
+std::uint64_t
+Histogram::median() const
+{
+    return percentile(50.0);
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0;
+    sim_assert(p >= 0.0 && p <= 100.0);
+    ensureSorted();
+    const auto idx = static_cast<std::size_t>(
+        (p / 100.0) * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+void
+StatRegistry::clear()
+{
+    counters_.clear();
+    hists_.clear();
+}
+
+void
+StatRegistry::dump() const
+{
+    for (const auto &[name, c] : counters_)
+        std::printf("%-48s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+    for (const auto &[name, h] : hists_) {
+        std::printf("%-48s n=%llu mean=%.2f min=%llu med=%llu max=%llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(h.count()), h.mean(),
+                    static_cast<unsigned long long>(h.min()),
+                    static_cast<unsigned long long>(h.median()),
+                    static_cast<unsigned long long>(h.max()));
+    }
+}
+
+} // namespace flextm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Lightweight statistics registry.  Components register named scalar
+ * counters and histograms; harnesses snapshot and print them.
+ */
+
+#ifndef FLEXTM_SIM_STATS_HH
+#define FLEXTM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace flextm
+{
+
+/** A named monotonically increasing counter. */
+struct Counter
+{
+    std::uint64_t value = 0;
+
+    void operator+=(std::uint64_t n) { value += n; }
+    void operator++() { ++value; }
+    void operator++(int) { ++value; }
+};
+
+/**
+ * A value distribution tracker: count, sum, min, max, and exact
+ * per-sample storage for median queries (sample sets in this simulator
+ * are small: per-transaction CST population counts etc.).
+ */
+class Histogram
+{
+  public:
+    void add(std::uint64_t v);
+    void clear();
+
+    std::uint64_t count() const { return samples_.size(); }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+    double mean() const;
+    /** Median of the samples (0 when empty). */
+    std::uint64_t median() const;
+    /** p-th percentile, p in [0,100]. */
+    std::uint64_t percentile(double p) const;
+
+  private:
+    mutable std::vector<std::uint64_t> samples_;
+    mutable bool sorted_ = true;
+    std::uint64_t sum_ = 0;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Flat name -> stat maps.  One registry per simulated machine so that
+ * repeated experiments in one process do not bleed into each other.
+ */
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Histogram &histogram(const std::string &name) { return hists_[name]; }
+
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value;
+    }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    void clear();
+
+    /** Dump all counters to stdout (debug aid). */
+    void dump() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_SIM_STATS_HH

@@ -1,0 +1,204 @@
+#include "sim/thread.hh"
+
+#include <exception>
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+namespace
+{
+
+/**
+ * The scheduler whose threads are currently being dispatched.  Only
+ * one scheduler runs at a time on a host thread (the simulation is
+ * single-host-threaded), so a thread-local suffices to let the
+ * makecontext trampoline find its way home.
+ */
+thread_local Scheduler *activeSched = nullptr;
+
+} // anonymous namespace
+
+SimThread::SimThread(Scheduler &sched, ThreadId id, CoreId core,
+                     std::function<void()> body)
+    : sched_(sched), id_(id), core_(core), body_(std::move(body)),
+      stack_(stackBytes)
+{
+    if (getcontext(&ctx_) != 0)
+        panic("getcontext failed");
+    ctx_.uc_stack.ss_sp = stack_.data();
+    ctx_.uc_stack.ss_size = stack_.size();
+    ctx_.uc_link = nullptr;
+    makecontext(&ctx_, &SimThread::trampoline, 0);
+}
+
+void
+SimThread::trampoline()
+{
+    Scheduler *sched = activeSched;
+    sim_assert(sched != nullptr);
+    SimThread &self = sched->current();
+    try {
+        self.body_();
+    } catch (const std::exception &e) {
+        panic("uncaught exception in sim thread %u: %s", self.id_,
+              e.what());
+    } catch (...) {
+        panic("uncaught exception in sim thread %u", self.id_);
+    }
+    sched->threadExit();
+}
+
+ThreadId
+Scheduler::spawn(CoreId core, std::function<void()> body)
+{
+    const auto tid = static_cast<ThreadId>(threads_.size());
+    threads_.push_back(
+        std::make_unique<SimThread>(*this, tid, core, std::move(body)));
+    return tid;
+}
+
+SimThread &
+Scheduler::current()
+{
+    sim_assert(current_ != nullptr, "no thread is running");
+    return *current_;
+}
+
+SimThread &
+Scheduler::thread(ThreadId tid)
+{
+    sim_assert(tid < threads_.size());
+    return *threads_[tid];
+}
+
+void
+Scheduler::advance(Cycles n)
+{
+    current().advance(n);
+}
+
+Cycles
+Scheduler::now() const
+{
+    sim_assert(current_ != nullptr);
+    return current_->clock();
+}
+
+Cycles
+Scheduler::maxClock() const
+{
+    Cycles m = 0;
+    for (const auto &t : threads_)
+        if (t->clock() > m)
+            m = t->clock();
+    return m;
+}
+
+SimThread *
+Scheduler::pickNext()
+{
+    SimThread *best = nullptr;
+    for (const auto &t : threads_) {
+        if (t->state() != SimThread::State::Runnable)
+            continue;
+        if (!best || t->clock() < best->clock())
+            best = t.get();
+    }
+    return best;
+}
+
+void
+Scheduler::switchTo(SimThread &t)
+{
+    current_ = &t;
+    Scheduler *prev = activeSched;
+    activeSched = this;
+    if (swapcontext(&mainCtx_, &t.ctx_) != 0)
+        panic("swapcontext into thread %u failed", t.id());
+    activeSched = prev;
+    current_ = nullptr;
+}
+
+void
+Scheduler::run()
+{
+    run([] { return false; });
+}
+
+void
+Scheduler::run(const std::function<bool()> &stop)
+{
+    sim_assert(current_ == nullptr, "run() is not reentrant");
+    while (!stop()) {
+        SimThread *next = pickNext();
+        if (!next)
+            break;
+        switchTo(*next);
+    }
+}
+
+void
+Scheduler::yield()
+{
+    SimThread &self = current();
+    if (swapcontext(&self.ctx_, &mainCtx_) != 0)
+        panic("swapcontext to scheduler failed");
+}
+
+void
+Scheduler::block()
+{
+    SimThread &self = current();
+    self.state_ = SimThread::State::Blocked;
+    yield();
+    sim_assert(self.state_ == SimThread::State::Runnable,
+               "blocked thread resumed without wake");
+}
+
+void
+Scheduler::wake(ThreadId tid)
+{
+    SimThread &t = thread(tid);
+    sim_assert(t.state() == SimThread::State::Blocked,
+               "wake of non-blocked thread %u", tid);
+    t.state_ = SimThread::State::Runnable;
+    // A thread that slept must not lag global time: pull it forward to
+    // the waker's clock so its next action cannot happen in the past.
+    if (current_ != nullptr)
+        t.syncClock(current_->clock());
+}
+
+void
+Scheduler::threadExit()
+{
+    SimThread &self = current();
+    self.state_ = SimThread::State::Finished;
+    if (swapcontext(&self.ctx_, &mainCtx_) != 0)
+        panic("swapcontext from finished thread failed");
+    panic("finished thread %u was rescheduled", self.id());
+}
+
+SimBarrier::SimBarrier(Scheduler &sched, unsigned parties)
+    : sched_(sched), parties_(parties)
+{
+    sim_assert(parties > 0);
+}
+
+void
+SimBarrier::wait()
+{
+    ++arrived_;
+    if (arrived_ == parties_) {
+        arrived_ = 0;
+        for (ThreadId tid : waiters_)
+            sched_.wake(tid);
+        waiters_.clear();
+        return;
+    }
+    waiters_.push_back(sched_.current().id());
+    sched_.block();
+}
+
+} // namespace flextm

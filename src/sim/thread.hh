@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cooperative simulated threads.
+ *
+ * Each simulated hardware/software thread is a ucontext coroutine with
+ * its own stack and its own cycle clock.  A single host thread runs the
+ * whole simulation, so execution is deterministic: the scheduler always
+ * resumes the runnable thread with the smallest clock, and threads
+ * yield after every memory operation, which serializes all protocol
+ * actions in global simulated-time order.
+ */
+
+#ifndef FLEXTM_SIM_THREAD_HH
+#define FLEXTM_SIM_THREAD_HH
+
+#include <ucontext.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+class Scheduler;
+
+/** One simulated thread of execution. */
+class SimThread
+{
+  public:
+    enum class State
+    {
+        Runnable,  //!< may be scheduled
+        Blocked,   //!< waiting on a barrier / OS deschedule
+        Finished   //!< body returned
+    };
+
+    SimThread(Scheduler &sched, ThreadId id, CoreId core,
+              std::function<void()> body);
+
+    ThreadId id() const { return id_; }
+    CoreId core() const { return core_; }
+    void setCore(CoreId c) { core_ = c; }
+
+    State state() const { return state_; }
+    Cycles clock() const { return clock_; }
+    void advance(Cycles n) { clock_ += n; }
+    /** Move the clock forward to at least @p t (used when resuming). */
+    void syncClock(Cycles t) { if (clock_ < t) clock_ = t; }
+
+  private:
+    friend class Scheduler;
+
+    static void trampoline();
+
+    Scheduler &sched_;
+    ThreadId id_;
+    CoreId core_;
+    State state_ = State::Runnable;
+    Cycles clock_ = 0;
+    std::function<void()> body_;
+    ucontext_t ctx_;
+    std::vector<std::uint8_t> stack_;
+
+    static constexpr std::size_t stackBytes = 512 * 1024;
+};
+
+/**
+ * Min-clock cooperative scheduler.  Owns all simulated threads of one
+ * machine.  run() executes until every thread has finished (or the
+ * optional stop predicate fires).
+ */
+class Scheduler
+{
+  public:
+    Scheduler() = default;
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Create a thread pinned to @p core; runs on the next run(). */
+    ThreadId spawn(CoreId core, std::function<void()> body);
+
+    /** Run until all threads have finished. */
+    void run();
+
+    /**
+     * Run until @p stop returns true (checked between thread steps) or
+     * all threads finish, whichever is first.
+     */
+    void run(const std::function<bool()> &stop);
+
+    /** Called from inside a thread: give up the host CPU. */
+    void yield();
+
+    /** Called from inside a thread: block until woken. */
+    void block();
+
+    /** Make a blocked thread runnable again (from any context). */
+    void wake(ThreadId tid);
+
+    /** The thread currently executing (valid only inside run()). */
+    SimThread &current();
+    bool inThread() const { return current_ != nullptr; }
+
+    /** Charge cycles to the current thread. */
+    void advance(Cycles n);
+
+    /** Current thread's clock. */
+    Cycles now() const;
+
+    SimThread &thread(ThreadId tid);
+    std::size_t threadCount() const { return threads_.size(); }
+
+    /** Largest clock over all threads (machine finish time). */
+    Cycles maxClock() const;
+
+  private:
+    friend class SimThread;
+
+    std::vector<std::unique_ptr<SimThread>> threads_;
+    SimThread *current_ = nullptr;
+    ucontext_t mainCtx_;
+
+    SimThread *pickNext();
+    void switchTo(SimThread &t);
+    void threadExit();
+};
+
+/**
+ * Classic counting barrier for simulated threads (used to separate a
+ * single-threaded warm-up phase from the timed parallel phase).
+ */
+class SimBarrier
+{
+  public:
+    SimBarrier(Scheduler &sched, unsigned parties);
+
+    /** Block until @p parties threads have arrived. */
+    void wait();
+
+  private:
+    Scheduler &sched_;
+    unsigned parties_;
+    unsigned arrived_ = 0;
+    std::vector<ThreadId> waiters_;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_SIM_THREAD_HH

@@ -1,0 +1,114 @@
+#include "sim/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flextm::trace
+{
+
+namespace
+{
+
+unsigned activeMask = 0;
+bool initialized = false;
+Sink activeSink;
+
+const char *
+name(Category c)
+{
+    switch (c) {
+      case Protocol:
+        return "protocol";
+      case Tm:
+        return "tm";
+      case Os:
+        return "os";
+      case Watch:
+        return "watch";
+      default:
+        return "?";
+    }
+}
+
+void
+initFromEnv()
+{
+    initialized = true;
+    const char *env = std::getenv("FLEXTM_TRACE");
+    if (env && env[0] != '\0')
+        activeMask = parseCategories(env);
+}
+
+} // anonymous namespace
+
+unsigned
+parseCategories(const std::string &spec)
+{
+    unsigned m = 0;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        if (tok == "all")
+            m |= All;
+        else if (tok == "protocol")
+            m |= Protocol;
+        else if (tok == "tm")
+            m |= Tm;
+        else if (tok == "os")
+            m |= Os;
+        else if (tok == "watch")
+            m |= Watch;
+        pos = comma + 1;
+    }
+    return m;
+}
+
+unsigned
+setMask(unsigned m)
+{
+    if (!initialized)
+        initFromEnv();
+    const unsigned prev = activeMask;
+    activeMask = m;
+    return prev;
+}
+
+unsigned
+mask()
+{
+    if (!initialized)
+        initFromEnv();
+    return activeMask;
+}
+
+void
+setSink(Sink sink)
+{
+    activeSink = std::move(sink);
+}
+
+void
+logf(Category c, std::uint64_t cycle, const char *fmt, ...)
+{
+    char body[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, ap);
+    va_end(ap);
+
+    char line[600];
+    std::snprintf(line, sizeof(line), "%10llu: %s: %s",
+                  static_cast<unsigned long long>(cycle), name(c),
+                  body);
+    if (activeSink)
+        activeSink(line);
+    else
+        std::fprintf(stderr, "%s\n", line);
+}
+
+} // namespace flextm::trace

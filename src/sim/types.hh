@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types and machine-wide constants used throughout
+ * the FlexTM simulator.
+ */
+
+#ifndef FLEXTM_SIM_TYPES_HH
+#define FLEXTM_SIM_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flextm
+{
+
+/** Simulated physical address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Simulated time, measured in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a processor core (0-based, dense). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a software thread (0-based, dense). */
+using ThreadId = std::uint32_t;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCore = ~CoreId{0};
+
+/** Sentinel for "no thread". */
+constexpr ThreadId invalidThread = ~ThreadId{0};
+
+/** Cache line size in bytes (Table 3a: 64-byte blocks). */
+constexpr unsigned lineBytes = 64;
+
+/** log2 of the cache line size. */
+constexpr unsigned lineShift = 6;
+
+/** Mask selecting the line-offset bits of an address. */
+constexpr Addr lineMask = lineBytes - 1;
+
+/** Round an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(lineMask);
+}
+
+/** Extract the line number (address / lineBytes). */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> lineShift;
+}
+
+} // namespace flextm
+
+#endif // FLEXTM_SIM_TYPES_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Delaunay-style workload (Table 3b): the paper's Delaunay
+ * triangulation benchmark [33] sorts points into geometric regions,
+ * triangulates regions in parallel with sequential solvers, and uses
+ * transactions only to "stitch" the seams between regions.  It is
+ * fundamentally data-parallel (< 5% of time in transactions) and
+ * memory-bandwidth limited.
+ *
+ * We reproduce that execution profile with a synthetic mesh: each
+ * operation streams through a thread-private region buffer (the
+ * sequential solve - plain loads/stores over a working set larger
+ * than the L1) and then runs one short transaction updating a pair
+ * of shared seam cells.  Object-based runtimes (RSTM, RTM-F) pay a
+ * per-line metadata indirection during the streaming phase too,
+ * reproducing the ~2x cache-miss inflation the paper reports for
+ * them on this benchmark.
+ */
+
+#ifndef FLEXTM_WORKLOADS_DELAUNAY_HH
+#define FLEXTM_WORKLOADS_DELAUNAY_HH
+
+#include <map>
+
+#include "workloads/workload.hh"
+
+namespace flextm
+{
+
+/** The Delaunay-style mesh-stitching workload. */
+class DelaunayWorkload : public Workload
+{
+  public:
+    DelaunayWorkload(unsigned seam_cells = 64,
+                     unsigned region_bytes = 64 * 1024,
+                     unsigned stream_lines = 256);
+
+    void setup(TxThread &t) override;
+    void runOne(TxThread &t) override;
+    void verify(TxThread &t) override;
+    const char *name() const override { return "Delaunay"; }
+
+  private:
+    unsigned seamCells_;
+    unsigned regionBytes_;
+    unsigned streamLines_;
+
+    Addr seamBase_ = 0;   //!< line-padded shared seam counters
+    /** thread-private region buffers, allocated on first use (the
+     *  map itself is host-side bookkeeping; buffers are simulated). */
+    std::map<ThreadId, Addr> regionOf_;
+
+    Addr regionFor(TxThread &t);
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_WORKLOADS_DELAUNAY_HH

@@ -1,0 +1,136 @@
+#include "workloads/hash_table.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+HashTableWorkload::HashTableWorkload(unsigned buckets,
+                                     unsigned key_range,
+                                     unsigned warmup)
+    : buckets_(buckets), keyRange_(key_range), warmup_(warmup)
+{
+}
+
+Addr
+HashTableWorkload::headCell(std::uint64_t key) const
+{
+    return headsBase_ + (key % buckets_) * lineBytes;
+}
+
+void
+HashTableWorkload::setup(TxThread &t)
+{
+    headsBase_ =
+        t.alloc(std::size_t{buckets_} * lineBytes, lineBytes);
+    for (unsigned b = 0; b < buckets_; ++b)
+        t.store<Addr>(headsBase_ + std::size_t{b} * lineBytes, 0);
+    for (unsigned i = 0; i < warmup_; ++i) {
+        const std::uint64_t k = t.rng().nextInt(keyRange_);
+        t.txn([&] { insert(t, k); });
+    }
+}
+
+bool
+HashTableWorkload::find(TxThread &t, std::uint64_t key)
+{
+    Addr n = t.load<Addr>(headCell(key));
+    while (n != 0) {
+        if (t.load<std::uint64_t>(n) == key)
+            return true;
+        n = t.load<Addr>(n + 8);
+    }
+    return false;
+}
+
+bool
+HashTableWorkload::insert(TxThread &t, std::uint64_t key)
+{
+    const Addr head = headCell(key);
+    Addr n = t.load<Addr>(head);
+    Addr first = n;
+    while (n != 0) {
+        if (t.load<std::uint64_t>(n) == key)
+            return false;
+        n = t.load<Addr>(n + 8);
+    }
+    const Addr node = t.alloc(lineBytes, lineBytes);
+    t.store<std::uint64_t>(node, key);
+    t.store<Addr>(node + 8, first);
+    t.store<Addr>(head, node);
+    return true;
+}
+
+bool
+HashTableWorkload::remove(TxThread &t, std::uint64_t key)
+{
+    const Addr head = headCell(key);
+    Addr prev = 0;
+    Addr n = t.load<Addr>(head);
+    while (n != 0) {
+        if (t.load<std::uint64_t>(n) == key) {
+            const Addr next = t.load<Addr>(n + 8);
+            if (prev == 0)
+                t.store<Addr>(head, next);
+            else
+                t.store<Addr>(prev + 8, next);
+            t.txFree(n);
+            return true;
+        }
+        prev = n;
+        n = t.load<Addr>(n + 8);
+    }
+    return false;
+}
+
+bool
+HashTableWorkload::contains(TxThread &t, std::uint64_t key)
+{
+    bool found = false;
+    t.txn([&] { found = find(t, key); });
+    return found;
+}
+
+void
+HashTableWorkload::runOne(TxThread &t)
+{
+    const std::uint64_t k = t.rng().nextInt(keyRange_);
+    const unsigned op = static_cast<unsigned>(t.rng().nextInt(3));
+    t.txn([&] {
+        t.work(25);  // hash computation + call overhead
+        switch (op) {
+          case 0:
+            insert(t, k);
+            break;
+          case 1:
+            remove(t, k);
+            break;
+          default:
+            find(t, k);
+            break;
+        }
+    });
+}
+
+void
+HashTableWorkload::verify(TxThread &t)
+{
+    // Every key sits in its own bucket, chains are acyclic and
+    // duplicate-free.
+    for (unsigned b = 0; b < buckets_; ++b) {
+        std::vector<std::uint64_t> seen;
+        Addr n = t.load<Addr>(headsBase_ + std::size_t{b} * lineBytes);
+        unsigned steps = 0;
+        while (n != 0) {
+            sim_assert(++steps < 10000, "cycle in bucket chain");
+            const std::uint64_t k = t.load<std::uint64_t>(n);
+            sim_assert(k % buckets_ == b, "key in wrong bucket");
+            for (auto s : seen)
+                sim_assert(s != k, "duplicate key in bucket");
+            seen.push_back(k);
+            n = t.load<Addr>(n + 8);
+        }
+    }
+}
+
+} // namespace flextm

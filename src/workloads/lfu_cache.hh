@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LFUCache workload (Table 3b): a simulated web cache with a large
+ * (2048-entry) array-based page index and a small (255-entry)
+ * min-heap priority queue tracking page access frequency.  Accessed
+ * pages follow the Zipf-like distribution p(i) ~ sum_{0<j<=i} j^-2,
+ * so most transactions touch the same hot heap entries and the
+ * workload admits essentially no concurrency (the paper's
+ * non-scalable stress case).
+ */
+
+#ifndef FLEXTM_WORKLOADS_LFU_CACHE_HH
+#define FLEXTM_WORKLOADS_LFU_CACHE_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace flextm
+{
+
+/** The LFUCache workload. */
+class LFUCacheWorkload : public Workload
+{
+  public:
+    LFUCacheWorkload(unsigned pages = 2048, unsigned heap_entries = 255);
+
+    void setup(TxThread &t) override;
+    void runOne(TxThread &t) override;
+    void verify(TxThread &t) override;
+    const char *name() const override { return "LFUCache"; }
+
+  private:
+    unsigned pages_;
+    unsigned heapEntries_;
+    ZipfSampler zipf_;
+
+    Addr freqBase_ = 0;   //!< pages_ x 8B access counters
+    Addr heapIdxBase_ = 0; //!< pages_ x 8B: heap slot + 1, or 0
+    Addr heapBase_ = 0;    //!< heapEntries_ x 16B {page, freq}
+
+    Addr heapSlot(unsigned i) const { return heapBase_ + i * 16; }
+    std::uint64_t heapPage(TxThread &t, unsigned i)
+    {
+        return t.load<std::uint64_t>(heapSlot(i));
+    }
+    std::uint64_t heapFreq(TxThread &t, unsigned i)
+    {
+        return t.load<std::uint64_t>(heapSlot(i) + 8);
+    }
+    void setHeap(TxThread &t, unsigned i, std::uint64_t page,
+                 std::uint64_t freq);
+
+    /** Restore min-heap order downward from slot @p i. */
+    void siftDown(TxThread &t, unsigned i);
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_WORKLOADS_LFU_CACHE_HH

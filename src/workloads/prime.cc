@@ -1,0 +1,29 @@
+#include "workloads/prime.hh"
+
+namespace flextm
+{
+
+unsigned
+PrimeWorker::runChunk(TxThread &t)
+{
+    // Advance through odd numbers; factor each by trial division.
+    next_ += 2;
+    std::uint64_t n = 100000 + (next_ % 50000);
+    unsigned factors = 0;
+    unsigned steps = 0;
+    for (std::uint64_t d = 2; d * d <= n && steps < 400; ++d) {
+        ++steps;
+        while (n % d == 0) {
+            n /= d;
+            ++factors;
+        }
+    }
+    if (n > 1)
+        ++factors;
+    // One cycle per trial division (IPC = 1, no memory traffic).
+    t.work(steps + 20);
+    ++chunks_;
+    return factors;
+}
+
+} // namespace flextm

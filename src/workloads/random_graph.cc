@@ -1,0 +1,169 @@
+#include "workloads/random_graph.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+RandomGraphWorkload::RandomGraphWorkload(unsigned slots,
+                                         unsigned warmup,
+                                         unsigned max_degree)
+    : slots_(slots), warmup_(warmup), maxDegree_(max_degree)
+{
+}
+
+void
+RandomGraphWorkload::setup(TxThread &t)
+{
+    slotBase_ = t.alloc(std::size_t{slots_} * lineBytes, lineBytes);
+    for (unsigned i = 0; i < slots_; ++i)
+        t.store<Addr>(slotCell(i), 0);
+    for (unsigned i = 0; i < warmup_; ++i) {
+        const unsigned slot =
+            static_cast<unsigned>(t.rng().nextInt(slots_));
+        t.txn([&] { insertVertex(t, slot); });
+    }
+}
+
+void
+RandomGraphWorkload::addEdge(TxThread &t, Addr vertex, Addr target)
+{
+    const Addr edge = t.alloc(lineBytes, lineBytes);
+    t.store<Addr>(edge, target);
+    t.store<Addr>(edge + 8, t.load<Addr>(vertex + 8));
+    t.store<Addr>(vertex + 8, edge);
+}
+
+void
+RandomGraphWorkload::removeEdge(TxThread &t, Addr vertex, Addr target)
+{
+    Addr prev = 0;
+    Addr e = t.load<Addr>(vertex + 8);
+    while (e != 0) {
+        const Addr tgt = t.load<Addr>(e);
+        const Addr next = t.load<Addr>(e + 8);
+        if (tgt == target) {
+            if (prev == 0)
+                t.store<Addr>(vertex + 8, next);
+            else
+                t.store<Addr>(prev + 8, next);
+            t.txFree(e);
+            return;
+        }
+        prev = e;
+        e = next;
+    }
+}
+
+void
+RandomGraphWorkload::insertVertex(TxThread &t, unsigned slot)
+{
+    const Addr cell = slotCell(slot);
+    if (t.load<Addr>(cell) != 0) {
+        // Slot occupied: replace (delete then insert fresh), which
+        // keeps the population near steady state.
+        deleteVertex(t, slot);
+    }
+    const Addr v = t.alloc(lineBytes, lineBytes);
+    t.store<std::uint64_t>(v, slot);
+    t.store<Addr>(v + 8, 0);
+    t.store<Addr>(cell, v);
+
+    // Connect to up to maxDegree_ random existing vertices.  The
+    // neighbour scan reads other slots and walks their adjacency
+    // lists - the long read sets the paper describes.
+    unsigned added = 0;
+    for (unsigned probe = 0; probe < maxDegree_ * 4 && added < maxDegree_;
+         ++probe) {
+        const unsigned ns =
+            static_cast<unsigned>(t.rng().nextInt(slots_));
+        if (ns == slot)
+            continue;
+        const Addr nb = t.load<Addr>(slotCell(ns));
+        if (nb == 0)
+            continue;
+        // Skip if already adjacent (walk the new vertex's list).
+        bool dup = false;
+        for (Addr e = t.load<Addr>(v + 8); e != 0;
+             e = t.load<Addr>(e + 8)) {
+            if (t.load<Addr>(e) == nb) {
+                dup = true;
+                break;
+            }
+        }
+        if (dup)
+            continue;
+        addEdge(t, v, nb);
+        addEdge(t, nb, v);
+        ++added;
+    }
+}
+
+void
+RandomGraphWorkload::deleteVertex(TxThread &t, unsigned slot)
+{
+    const Addr cell = slotCell(slot);
+    const Addr v = t.load<Addr>(cell);
+    if (v == 0)
+        return;
+    // Remove the back-edge from every neighbour, then free our list.
+    Addr e = t.load<Addr>(v + 8);
+    while (e != 0) {
+        const Addr nb = t.load<Addr>(e);
+        const Addr next = t.load<Addr>(e + 8);
+        removeEdge(t, nb, v);
+        t.txFree(e);
+        e = next;
+    }
+    t.store<Addr>(cell, 0);
+    t.txFree(v);
+}
+
+void
+RandomGraphWorkload::runOne(TxThread &t)
+{
+    const unsigned slot =
+        static_cast<unsigned>(t.rng().nextInt(slots_));
+    const bool ins = t.rng().percent(50);
+    t.txn([&] {
+        t.work(20);  // vertex bookkeeping instructions
+        if (ins)
+            insertVertex(t, slot);
+        else
+            deleteVertex(t, slot);
+    });
+}
+
+void
+RandomGraphWorkload::verify(TxThread &t)
+{
+    // Undirected consistency: v in adj(u) <=> u in adj(v); edges
+    // only reference live vertices.
+    for (unsigned i = 0; i < slots_; ++i) {
+        const Addr v = t.load<Addr>(slotCell(i));
+        if (v == 0)
+            continue;
+        unsigned steps = 0;
+        for (Addr e = t.load<Addr>(v + 8); e != 0;
+             e = t.load<Addr>(e + 8)) {
+            sim_assert(++steps < 100000, "adjacency list cycle");
+            const Addr nb = t.load<Addr>(e);
+            const std::uint64_t nb_slot = t.load<std::uint64_t>(nb);
+            sim_assert(t.load<Addr>(
+                           slotCell(static_cast<unsigned>(nb_slot))) ==
+                           nb,
+                       "edge to dead vertex");
+            bool back = false;
+            for (Addr be = t.load<Addr>(nb + 8); be != 0;
+                 be = t.load<Addr>(be + 8)) {
+                if (t.load<Addr>(be) == v) {
+                    back = true;
+                    break;
+                }
+            }
+            sim_assert(back, "missing back edge");
+        }
+    }
+}
+
+} // namespace flextm

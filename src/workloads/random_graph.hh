@@ -1,0 +1,58 @@
+/**
+ * @file
+ * RandomGraph workload (Table 3b): insert or delete vertices (50%
+ * each) in an undirected graph represented with adjacency lists.
+ * New vertices get up to 4 randomly selected neighbours; edges are
+ * inserted into both endpoints' lists, so transactions read long
+ * list chains and write several of them (the paper reports ~80 lines
+ * read and ~15 written per transaction) - the livelock-prone stress
+ * case for eager conflict management.
+ */
+
+#ifndef FLEXTM_WORKLOADS_RANDOM_GRAPH_HH
+#define FLEXTM_WORKLOADS_RANDOM_GRAPH_HH
+
+#include "workloads/workload.hh"
+
+namespace flextm
+{
+
+/** The RandomGraph workload. */
+class RandomGraphWorkload : public Workload
+{
+  public:
+    RandomGraphWorkload(unsigned slots = 256, unsigned warmup = 96,
+                        unsigned max_degree = 4);
+
+    void setup(TxThread &t) override;
+    void runOne(TxThread &t) override;
+    void verify(TxThread &t) override;
+    const char *name() const override { return "RandomGraph"; }
+
+  private:
+    unsigned slots_;
+    unsigned warmup_;
+    unsigned maxDegree_;
+
+    /** slot table: slots_ line-padded cells holding vertex addrs. */
+    Addr slotBase_ = 0;
+
+    /* vertex layout: id @0, adjHead @8 (one line)
+       edge node layout: target-vertex @0, next @8 (one line) */
+
+    Addr slotCell(unsigned i) const
+    {
+        return slotBase_ + std::size_t{i} * lineBytes;
+    }
+
+    void insertVertex(TxThread &t, unsigned slot);
+    void deleteVertex(TxThread &t, unsigned slot);
+    /** Append an edge node pointing at @p target to @p vertex. */
+    void addEdge(TxThread &t, Addr vertex, Addr target);
+    /** Unlink the edge to @p target from @p vertex's list. */
+    void removeEdge(TxThread &t, Addr vertex, Addr target);
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_WORKLOADS_RANDOM_GRAPH_HH

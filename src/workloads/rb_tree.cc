@@ -1,0 +1,425 @@
+#include "workloads/rb_tree.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+TxRbTree
+TxRbTree::create(TxThread &t, unsigned node_bytes)
+{
+    const Addr cell = t.alloc(lineBytes, lineBytes);
+    t.store<Addr>(cell, 0);
+    return TxRbTree(cell, node_bytes);
+}
+
+Addr
+TxRbTree::findNode(TxThread &t, std::uint64_t k)
+{
+    Addr n = root(t);
+    unsigned steps = 0;
+    while (n != 0) {
+        sim_assert(++steps < 1000000,
+                   "unbounded tree walk (inconsistent snapshot?) "
+                   "tid=%u", t.tid());
+        const std::uint64_t nk = key(t, n);
+        if (k == nk)
+            return n;
+        n = k < nk ? left(t, n) : right(t, n);
+    }
+    return 0;
+}
+
+bool
+TxRbTree::lookup(TxThread &t, std::uint64_t k, std::uint64_t *value_out)
+{
+    const Addr n = findNode(t, k);
+    if (n == 0)
+        return false;
+    if (value_out)
+        *value_out = t.load<std::uint64_t>(n + offValue);
+    return true;
+}
+
+bool
+TxRbTree::update(TxThread &t, std::uint64_t k, std::uint64_t value)
+{
+    const Addr n = findNode(t, k);
+    if (n == 0)
+        return false;
+    t.store<std::uint64_t>(n + offValue, value);
+    return true;
+}
+
+void
+TxRbTree::rotateLeft(TxThread &t, Addr x)
+{
+    const Addr y = right(t, x);
+    const Addr yl = left(t, y);
+    setRight(t, x, yl);
+    if (yl != 0)
+        setParent(t, yl, x);
+    const Addr xp = parent(t, x);
+    setParent(t, y, xp);
+    if (xp == 0)
+        setRoot(t, y);
+    else if (left(t, xp) == x)
+        setLeft(t, xp, y);
+    else
+        setRight(t, xp, y);
+    setLeft(t, y, x);
+    setParent(t, x, y);
+}
+
+void
+TxRbTree::rotateRight(TxThread &t, Addr x)
+{
+    const Addr y = left(t, x);
+    const Addr yr = right(t, y);
+    setLeft(t, x, yr);
+    if (yr != 0)
+        setParent(t, yr, x);
+    const Addr xp = parent(t, x);
+    setParent(t, y, xp);
+    if (xp == 0)
+        setRoot(t, y);
+    else if (right(t, xp) == x)
+        setRight(t, xp, y);
+    else
+        setLeft(t, xp, y);
+    setRight(t, y, x);
+    setParent(t, x, y);
+}
+
+bool
+TxRbTree::insert(TxThread &t, std::uint64_t k, std::uint64_t value)
+{
+    Addr parent_node = 0;
+    Addr n = root(t);
+    while (n != 0) {
+        const std::uint64_t nk = key(t, n);
+        if (k == nk)
+            return false;
+        parent_node = n;
+        n = k < nk ? left(t, n) : right(t, n);
+    }
+
+    const Addr z = t.alloc(nodeBytes_, lineBytes);
+    t.store<std::uint64_t>(z + offKey, k);
+    t.store<std::uint64_t>(z + offValue, value);
+    setLeft(t, z, 0);
+    setRight(t, z, 0);
+    setParent(t, z, parent_node);
+    setColor(t, z, red);
+
+    if (parent_node == 0)
+        setRoot(t, z);
+    else if (k < key(t, parent_node))
+        setLeft(t, parent_node, z);
+    else
+        setRight(t, parent_node, z);
+
+    insertFixup(t, z);
+    return true;
+}
+
+void
+TxRbTree::insertFixup(TxThread &t, Addr z)
+{
+    while (true) {
+        const Addr zp = parent(t, z);
+        if (zp == 0 || color(t, zp) != red)
+            break;
+        const Addr zpp = parent(t, zp);
+        if (left(t, zpp) == zp) {
+            const Addr y = right(t, zpp);  // uncle
+            if (color(t, y) == red) {
+                setColor(t, zp, black);
+                setColor(t, y, black);
+                setColor(t, zpp, red);
+                z = zpp;
+            } else {
+                if (right(t, zp) == z) {
+                    z = zp;
+                    rotateLeft(t, z);
+                }
+                const Addr zp2 = parent(t, z);
+                const Addr zpp2 = parent(t, zp2);
+                setColor(t, zp2, black);
+                setColor(t, zpp2, red);
+                rotateRight(t, zpp2);
+            }
+        } else {
+            const Addr y = left(t, zpp);
+            if (color(t, y) == red) {
+                setColor(t, zp, black);
+                setColor(t, y, black);
+                setColor(t, zpp, red);
+                z = zpp;
+            } else {
+                if (left(t, zp) == z) {
+                    z = zp;
+                    rotateRight(t, z);
+                }
+                const Addr zp2 = parent(t, z);
+                const Addr zpp2 = parent(t, zp2);
+                setColor(t, zp2, black);
+                setColor(t, zpp2, red);
+                rotateLeft(t, zpp2);
+            }
+        }
+    }
+    const Addr r = root(t);
+    if (color(t, r) != black)
+        setColor(t, r, black);
+}
+
+void
+TxRbTree::transplant(TxThread &t, Addr u, Addr v)
+{
+    const Addr up = parent(t, u);
+    if (up == 0)
+        setRoot(t, v);
+    else if (left(t, up) == u)
+        setLeft(t, up, v);
+    else
+        setRight(t, up, v);
+    if (v != 0)
+        setParent(t, v, up);
+}
+
+Addr
+TxRbTree::minimum(TxThread &t, Addr n)
+{
+    for (;;) {
+        const Addr l = left(t, n);
+        if (l == 0)
+            return n;
+        n = l;
+    }
+}
+
+bool
+TxRbTree::remove(TxThread &t, std::uint64_t k)
+{
+    const Addr z = findNode(t, k);
+    if (z == 0)
+        return false;
+
+    Addr y = z;
+    std::uint64_t y_color = color(t, y);
+    Addr x;
+    Addr x_parent;
+
+    if (left(t, z) == 0) {
+        x = right(t, z);
+        x_parent = parent(t, z);
+        transplant(t, z, x);
+    } else if (right(t, z) == 0) {
+        x = left(t, z);
+        x_parent = parent(t, z);
+        transplant(t, z, x);
+    } else {
+        y = minimum(t, right(t, z));
+        y_color = color(t, y);
+        x = right(t, y);
+        if (parent(t, y) == z) {
+            x_parent = y;
+        } else {
+            x_parent = parent(t, y);
+            transplant(t, y, x);
+            const Addr zr = right(t, z);
+            setRight(t, y, zr);
+            setParent(t, zr, y);
+        }
+        transplant(t, z, y);
+        const Addr zl = left(t, z);
+        setLeft(t, y, zl);
+        setParent(t, zl, y);
+        setColor(t, y, color(t, z));
+    }
+
+    if (y_color == black)
+        deleteFixup(t, x, x_parent);
+
+    t.txFree(z);
+    return true;
+}
+
+void
+TxRbTree::deleteFixup(TxThread &t, Addr x, Addr x_parent)
+{
+    while (x != root(t) && color(t, x) == black) {
+        if (x_parent == 0)
+            break;
+        if (left(t, x_parent) == x) {
+            Addr w = right(t, x_parent);
+            if (color(t, w) == red) {
+                setColor(t, w, black);
+                setColor(t, x_parent, red);
+                rotateLeft(t, x_parent);
+                w = right(t, x_parent);
+            }
+            if (color(t, left(t, w)) == black &&
+                color(t, right(t, w)) == black) {
+                setColor(t, w, red);
+                x = x_parent;
+                x_parent = parent(t, x);
+            } else {
+                if (color(t, right(t, w)) == black) {
+                    const Addr wl = left(t, w);
+                    setColor(t, wl, black);
+                    setColor(t, w, red);
+                    rotateRight(t, w);
+                    w = right(t, x_parent);
+                }
+                setColor(t, w, color(t, x_parent));
+                setColor(t, x_parent, black);
+                const Addr wr = right(t, w);
+                if (wr != 0)
+                    setColor(t, wr, black);
+                rotateLeft(t, x_parent);
+                x = root(t);
+                x_parent = 0;
+            }
+        } else {
+            Addr w = left(t, x_parent);
+            if (color(t, w) == red) {
+                setColor(t, w, black);
+                setColor(t, x_parent, red);
+                rotateRight(t, x_parent);
+                w = left(t, x_parent);
+            }
+            if (color(t, right(t, w)) == black &&
+                color(t, left(t, w)) == black) {
+                setColor(t, w, red);
+                x = x_parent;
+                x_parent = parent(t, x);
+            } else {
+                if (color(t, left(t, w)) == black) {
+                    const Addr wr = right(t, w);
+                    setColor(t, wr, black);
+                    setColor(t, w, red);
+                    rotateLeft(t, w);
+                    w = left(t, x_parent);
+                }
+                setColor(t, w, color(t, x_parent));
+                setColor(t, x_parent, black);
+                const Addr wl = left(t, w);
+                if (wl != 0)
+                    setColor(t, wl, black);
+                rotateRight(t, x_parent);
+                x = root(t);
+                x_parent = 0;
+            }
+        }
+    }
+    if (x != 0)
+        setColor(t, x, black);
+}
+
+std::uint64_t
+TxRbTree::size(TxThread &t)
+{
+    // Iterative walk with an explicit host-side stack.
+    std::uint64_t n = 0;
+    std::vector<Addr> stack;
+    if (root(t) != 0)
+        stack.push_back(root(t));
+    while (!stack.empty()) {
+        const Addr node = stack.back();
+        stack.pop_back();
+        ++n;
+        if (const Addr l = left(t, node))
+            stack.push_back(l);
+        if (const Addr r = right(t, node))
+            stack.push_back(r);
+    }
+    return n;
+}
+
+unsigned
+TxRbTree::verifyNode(TxThread &t, Addr n, std::uint64_t lo,
+                     std::uint64_t hi)
+{
+    if (n == 0)
+        return 1;
+    const std::uint64_t k = key(t, n);
+    sim_assert(k >= lo && k <= hi, "BST order violated");
+    const Addr l = left(t, n);
+    const Addr r = right(t, n);
+    if (color(t, n) == red) {
+        sim_assert(color(t, l) == black && color(t, r) == black,
+                   "red-red violation");
+    }
+    if (l != 0) {
+        sim_assert(parent(t, l) == n, "bad parent link (left)");
+    }
+    if (r != 0) {
+        sim_assert(parent(t, r) == n, "bad parent link (right)");
+    }
+    const unsigned bl = verifyNode(t, l, lo, k == 0 ? 0 : k - 1);
+    const unsigned br = verifyNode(t, r, k + 1, hi);
+    sim_assert(bl == br, "black height mismatch");
+    return bl + (color(t, n) == black ? 1 : 0);
+}
+
+unsigned
+TxRbTree::verify(TxThread &t)
+{
+    const Addr r = root(t);
+    if (r == 0)
+        return 1;
+    sim_assert(color(t, r) == black, "root must be black");
+    sim_assert(parent(t, r) == 0, "root parent must be nil");
+    return verifyNode(t, r, 0, ~std::uint64_t{0});
+}
+
+RBTreeWorkload::RBTreeWorkload(unsigned key_range, unsigned warmup)
+    : keyRange_(key_range), warmup_(warmup)
+{
+}
+
+void
+RBTreeWorkload::setup(TxThread &t)
+{
+    TxRbTree tree = TxRbTree::create(t);
+    rootCell_ = tree.rootCell();
+    // Warm up to the paper's steady state (~2048 of 4096 present).
+    for (unsigned i = 0; i < warmup_; ++i) {
+        t.txn([&] {
+            tree.insert(t, t.rng().nextInt(keyRange_), i);
+        });
+    }
+}
+
+void
+RBTreeWorkload::runOne(TxThread &t)
+{
+    TxRbTree tree(rootCell_, 256);
+    const std::uint64_t k = t.rng().nextInt(keyRange_);
+    const unsigned op = static_cast<unsigned>(t.rng().nextInt(3));
+    t.txn([&] {
+        t.work(15);  // call overhead + key comparison setup
+        switch (op) {
+          case 0:
+            tree.insert(t, k, k * 17);
+            break;
+          case 1:
+            tree.remove(t, k);
+            break;
+          default:
+            tree.lookup(t, k);
+            break;
+        }
+    });
+}
+
+void
+RBTreeWorkload::verify(TxThread &t)
+{
+    TxRbTree tree(rootCell_, 256);
+    tree.verify(t);
+}
+
+} // namespace flextm

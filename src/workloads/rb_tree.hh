@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Transactional red-black tree (Table 3b: RBTree workload; also the
+ * table type backing the Vacation in-memory database).
+ *
+ * A textbook red-black tree whose nodes live in simulated memory and
+ * are accessed exclusively through a TxThread, so that every node
+ * touch is a (transactional) memory operation with real protocol
+ * cost.  Nodes are 256 bytes as in the paper.  The delete fix-up
+ * tracks the parent explicitly instead of writing a shared sentinel,
+ * so disjoint deletes do not create artificial conflicts.
+ */
+
+#ifndef FLEXTM_WORKLOADS_RB_TREE_HH
+#define FLEXTM_WORKLOADS_RB_TREE_HH
+
+#include <cstdint>
+
+#include "runtime/tx_thread.hh"
+#include "workloads/workload.hh"
+
+namespace flextm
+{
+
+/** A red-black tree rooted at a word in simulated memory. */
+class TxRbTree
+{
+  public:
+    /** Create the root pointer cell (own cache line). */
+    static TxRbTree create(TxThread &t, unsigned node_bytes = 256);
+
+    /** Adopt an existing tree (root cell at @p root_cell). */
+    TxRbTree(Addr root_cell, unsigned node_bytes)
+        : rootCell_(root_cell), nodeBytes_(node_bytes)
+    {
+    }
+
+    /** Insert key -> value; returns false if the key existed. */
+    bool insert(TxThread &t, std::uint64_t key, std::uint64_t value);
+
+    /** Remove a key; returns false if absent. */
+    bool remove(TxThread &t, std::uint64_t key);
+
+    /** Lookup; returns true and fills @p value_out when present. */
+    bool lookup(TxThread &t, std::uint64_t key,
+                std::uint64_t *value_out = nullptr);
+
+    /** Overwrite the value of an existing key (false if absent). */
+    bool update(TxThread &t, std::uint64_t key, std::uint64_t value);
+
+    /** Number of keys (walks the whole tree - use outside timing). */
+    std::uint64_t size(TxThread &t);
+
+    /**
+     * Structural verification: BST order, red-red freedom, equal
+     * black heights.  Returns the black height; panics on violation.
+     */
+    unsigned verify(TxThread &t);
+
+    Addr rootCell() const { return rootCell_; }
+
+  private:
+    Addr rootCell_;
+    unsigned nodeBytes_;
+
+    /** Node field offsets. */
+    static constexpr unsigned offKey = 0;
+    static constexpr unsigned offValue = 8;
+    static constexpr unsigned offLeft = 16;
+    static constexpr unsigned offRight = 24;
+    static constexpr unsigned offParent = 32;
+    static constexpr unsigned offColor = 40;  //!< 1 = red, 0 = black
+
+    static constexpr std::uint64_t red = 1;
+    static constexpr std::uint64_t black = 0;
+
+    Addr root(TxThread &t) { return t.load<Addr>(rootCell_); }
+    void setRoot(TxThread &t, Addr n) { t.store<Addr>(rootCell_, n); }
+
+    std::uint64_t key(TxThread &t, Addr n)
+    {
+        return t.load<std::uint64_t>(n + offKey);
+    }
+    Addr left(TxThread &t, Addr n) { return t.load<Addr>(n + offLeft); }
+    Addr right(TxThread &t, Addr n)
+    {
+        return t.load<Addr>(n + offRight);
+    }
+    Addr parent(TxThread &t, Addr n)
+    {
+        return t.load<Addr>(n + offParent);
+    }
+    std::uint64_t color(TxThread &t, Addr n)
+    {
+        return n == 0 ? black : t.load<std::uint64_t>(n + offColor);
+    }
+    void setLeft(TxThread &t, Addr n, Addr v)
+    {
+        t.store<Addr>(n + offLeft, v);
+    }
+    void setRight(TxThread &t, Addr n, Addr v)
+    {
+        t.store<Addr>(n + offRight, v);
+    }
+    void setParent(TxThread &t, Addr n, Addr v)
+    {
+        t.store<Addr>(n + offParent, v);
+    }
+    void setColor(TxThread &t, Addr n, std::uint64_t c)
+    {
+        t.store<std::uint64_t>(n + offColor, c);
+    }
+
+    void rotateLeft(TxThread &t, Addr x);
+    void rotateRight(TxThread &t, Addr x);
+    void insertFixup(TxThread &t, Addr z);
+    void deleteFixup(TxThread &t, Addr x, Addr x_parent);
+    void transplant(TxThread &t, Addr u, Addr v);
+    Addr minimum(TxThread &t, Addr n);
+    Addr findNode(TxThread &t, std::uint64_t k);
+
+    unsigned verifyNode(TxThread &t, Addr n, std::uint64_t lo,
+                        std::uint64_t hi);
+};
+
+/** The RBTree workload of Workload-Set 1. */
+class RBTreeWorkload : public Workload
+{
+  public:
+    RBTreeWorkload(unsigned key_range = 4096, unsigned warmup = 2048);
+
+    void setup(TxThread &t) override;
+    void runOne(TxThread &t) override;
+    void verify(TxThread &t) override;
+    const char *name() const override { return "RBTree"; }
+
+  private:
+    unsigned keyRange_;
+    unsigned warmup_;
+    Addr rootCell_ = 0;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_WORKLOADS_RB_TREE_HH

@@ -1,0 +1,109 @@
+#include "workloads/vacation.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+VacationWorkload::VacationWorkload(unsigned relations,
+                                   unsigned query_pct,
+                                   unsigned read_only_pct)
+    : relations_(relations), queryPct_(query_pct),
+      readOnlyPct_(read_only_pct)
+{
+}
+
+void
+VacationWorkload::setup(TxThread &t)
+{
+    for (unsigned tab = 0; tab < numTables; ++tab) {
+        TxRbTree tree = TxRbTree::create(t);
+        rootCells_[tab] = tree.rootCell();
+        // Populate the whole relation; batched warm-up transactions.
+        for (unsigned k = 0; k < relations_; k += 16) {
+            t.txn([&] {
+                for (unsigned i = k;
+                     i < k + 16 && i < relations_; ++i) {
+                    tree.insert(t, i, 100 + (i % 37));
+                }
+            });
+        }
+    }
+}
+
+std::uint64_t
+VacationWorkload::pickKey(TxThread &t) const
+{
+    // Queries touch only the first query_pct % of the key space.
+    const std::uint64_t span =
+        std::max<std::uint64_t>(1, relations_ * queryPct_ / 100);
+    return t.rng().nextInt(span);
+}
+
+void
+VacationWorkload::readOnlyTask(TxThread &t)
+{
+    // ~10 lookups x ~10 nodes: "transactions read ~100 entries from
+    // a database and stream them through an RBTree".
+    t.txn([&] {
+        std::uint64_t sum = 0;
+        for (unsigned q = 0; q < 10; ++q) {
+            t.work(8);  // task dispatch + query marshalling
+            TxRbTree tree(
+                rootCells_[t.rng().nextInt(numTables)], 256);
+            std::uint64_t v = 0;
+            if (tree.lookup(t, pickKey(t), &v))
+                sum += v;
+        }
+        (void)sum;
+    });
+}
+
+void
+VacationWorkload::reservationTask(TxThread &t)
+{
+    t.txn([&] {
+        // Price queries across tables...
+        for (unsigned q = 0; q < 5; ++q) {
+            t.work(8);
+            TxRbTree tree(
+                rootCells_[t.rng().nextInt(numTables)], 256);
+            tree.lookup(t, pickKey(t));
+        }
+        // ...then reserve: update a row, and occasionally retire /
+        // re-add inventory (tree rotations).
+        TxRbTree tree(rootCells_[t.rng().nextInt(numTables)], 256);
+        const std::uint64_t k = pickKey(t);
+        if (!tree.update(t, k, 100 + t.rng().nextInt(37)))
+            tree.insert(t, k, 100);
+        if (t.rng().percent(25)) {
+            TxRbTree tree2(
+                rootCells_[t.rng().nextInt(numTables)], 256);
+            const std::uint64_t k2 = pickKey(t);
+            if (!tree2.remove(t, k2))
+                tree2.insert(t, k2, 100);
+        }
+    });
+}
+
+void
+VacationWorkload::runOne(TxThread &t)
+{
+    if (t.rng().percent(readOnlyPct_))
+        readOnlyTask(t);
+    else
+        reservationTask(t);
+}
+
+void
+VacationWorkload::verify(TxThread &t)
+{
+    for (unsigned tab = 0; tab < numTables; ++tab) {
+        TxRbTree tree(rootCells_[tab], 256);
+        tree.verify(t);
+    }
+}
+
+} // namespace flextm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Vacation workload (Table 3b, from STAMP via SigTM [26]): a travel
+ * reservation system.  Client threads run transactions against an
+ * in-memory database whose tables (cars, flights, rooms, customers)
+ * are red-black trees.  Two contention modes match the paper:
+ *
+ *   Low  - 90% of relations queried, read-only tasks dominate;
+ *   High - 10% of relations queried, 50-50 read-only / read-write.
+ *
+ * Read-only tasks stream ~100 tree entries (ticket lookups);
+ * read-write tasks make reservations, updating table entries and
+ * occasionally inserting/removing keys (which rotates interior tree
+ * nodes - the "dueling transactions" of Section 7.3).
+ */
+
+#ifndef FLEXTM_WORKLOADS_VACATION_HH
+#define FLEXTM_WORKLOADS_VACATION_HH
+
+#include "workloads/rb_tree.hh"
+#include "workloads/workload.hh"
+
+namespace flextm
+{
+
+/** The Vacation workload. */
+class VacationWorkload : public Workload
+{
+  public:
+    /**
+     * @param query_pct      percent of the key space transactions touch
+     * @param read_only_pct  percent of tasks that are read-only
+     */
+    VacationWorkload(unsigned relations, unsigned query_pct,
+                     unsigned read_only_pct);
+
+    static VacationWorkload low() { return {1024, 90, 90}; }
+    static VacationWorkload high() { return {1024, 10, 50}; }
+
+    void setup(TxThread &t) override;
+    void runOne(TxThread &t) override;
+    void verify(TxThread &t) override;
+    const char *
+    name() const override
+    {
+        return readOnlyPct_ >= 90 ? "Vacation-Low" : "Vacation-High";
+    }
+
+  private:
+    static constexpr unsigned numTables = 4;
+
+    unsigned relations_;
+    unsigned queryPct_;
+    unsigned readOnlyPct_;
+    Addr rootCells_[numTables] = {0, 0, 0, 0};
+
+    std::uint64_t pickKey(TxThread &t) const;
+
+    void readOnlyTask(TxThread &t);
+    void reservationTask(TxThread &t);
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_WORKLOADS_VACATION_HH

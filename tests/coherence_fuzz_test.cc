@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Coherence fuzzing: drive the TMESI protocol engine directly with
+ * long random streams of operations from every core and check the
+ * results against a host-side reference model.
+ *
+ * Part 1 (non-transactional): plain loads, stores and CASes are
+ * sequentially consistent in this simulator (each protocol operation
+ * is atomic and globally ordered), so every load must return exactly
+ * the reference value - any divergence is a protocol bug (missed
+ * invalidation, stale fill, lost writeback).
+ *
+ * Part 2 (transactional): random speculative episodes - TStores
+ * followed by commit or abort - interleaved with plain traffic from
+ * other cores; the reference model applies a transaction's writes
+ * only at commit.  Plain readers racing a speculative writer get
+ * Threatened/uncached responses and must still see the reference
+ * (stable) value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/tx_thread.hh"
+#include "sim/rng.hh"
+
+namespace flextm
+{
+namespace
+{
+
+MachineConfig
+fuzzCfg(unsigned cores, std::size_t l1_bytes = 4 * 1024)
+{
+    MachineConfig c;
+    c.cores = cores;
+    c.l1Bytes = l1_bytes;   // small L1: lots of evictions
+    c.victimEntries = 4;
+    c.memoryBytes = 64u << 20;
+    return c;
+}
+
+class CoherenceFuzz
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CoherenceFuzz, PlainOpsMatchReferenceModel)
+{
+    const auto [cores, seed] = GetParam();
+    Machine m(fuzzCfg(cores));
+    Rng rng(seed);
+
+    constexpr unsigned words = 96;
+    const Addr base = m.memory().allocate(words * 8, lineBytes);
+    std::map<Addr, std::uint64_t> model;
+    for (unsigned i = 0; i < words; ++i)
+        model[base + i * 8] = 0;
+
+    Cycles now = 0;
+    for (unsigned step = 0; step < 30000; ++step) {
+        const CoreId c = static_cast<CoreId>(rng.nextInt(cores));
+        const Addr a = base + rng.nextInt(words) * 8;
+        const unsigned op = static_cast<unsigned>(rng.nextInt(10));
+        if (op < 5) {
+            std::uint64_t v = 0;
+            const MemResult r =
+                m.memsys().access(c, AccessType::Load, a, 8, &v, now);
+            now += r.latency;
+            ASSERT_EQ(v, model[a])
+                << "load mismatch at step " << step;
+        } else if (op < 9) {
+            std::uint64_t v = step * 1000 + c;
+            const MemResult r = m.memsys().access(
+                c, AccessType::Store, a, 8, &v, now);
+            now += r.latency;
+            model[a] = v;
+        } else {
+            const std::uint64_t expected = model[a];
+            const std::uint64_t desired = step * 7777 + c;
+            const CasOutcome o =
+                m.memsys().cas(c, a, expected, desired, 8, now);
+            now += o.latency;
+            ASSERT_TRUE(o.success) << "CAS with true expected value "
+                                      "failed at step "
+                                   << step;
+            ASSERT_EQ(o.oldValue, expected);
+            model[a] = desired;
+        }
+    }
+
+    // Final state: peek agrees with the model everywhere.
+    for (const auto &[a, v] : model) {
+        std::uint64_t got = 0;
+        m.memsys().peek(a, &got, 8);
+        ASSERT_EQ(got, v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, CoherenceFuzz,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(11u, 29u, 47u)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, unsigned>>
+           &info) {
+        return std::to_string(std::get<0>(info.param)) + "cores_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CoherenceFuzzTx, SpeculativeEpisodesMatchReferenceModel)
+{
+    constexpr unsigned cores = 4;
+    Machine m(fuzzCfg(cores));
+    Rng rng(97);
+
+    constexpr unsigned words = 64;
+    const Addr base = m.memory().allocate(words * 8, lineBytes);
+    std::map<Addr, std::uint64_t> model;
+    for (unsigned i = 0; i < words; ++i)
+        model[base + i * 8] = 0;
+
+    // One OT per core (speculative writes may spill in a tiny L1).
+    std::vector<OverflowTable> ots;
+    for (unsigned c = 0; c < cores; ++c)
+        ots.emplace_back(2048u, 4u);
+
+    // Core 0 runs speculative episodes; cores 1..3 issue plain loads
+    // (with strong-isolation stores avoided so the episode survives).
+    Cycles now = 0;
+    const Addr tsw = m.memory().allocate(lineBytes, lineBytes);
+    for (unsigned episode = 0; episode < 300; ++episode) {
+        HwContext &ctx = m.context(0);
+        ctx.ot = &ots[0];
+        ctx.rsig.clear();
+        ctx.wsig.clear();
+        ctx.cst.clearAll();
+        std::uint64_t one = TswActive;
+        now += m.memsys()
+                   .access(0, AccessType::Store, tsw, 4, &one, now)
+                   .latency;
+        ctx.inTx = true;
+
+        // Speculative writes.
+        std::map<Addr, std::uint64_t> spec;
+        const unsigned writes = 1 + rng.nextInt(12);
+        for (unsigned w = 0; w < writes; ++w) {
+            const Addr a = base + rng.nextInt(words) * 8;
+            std::uint64_t v = episode * 100 + w + 1;
+            now += m.memsys()
+                       .access(0, AccessType::TStore, a, 8, &v, now)
+                       .latency;
+            spec[a] = v;
+        }
+
+        // Concurrent plain readers see only stable values.
+        for (unsigned probe = 0; probe < 8; ++probe) {
+            const CoreId c =
+                static_cast<CoreId>(1 + rng.nextInt(cores - 1));
+            const Addr a = base + rng.nextInt(words) * 8;
+            std::uint64_t v = 0;
+            now += m.memsys()
+                       .access(c, AccessType::Load, a, 8, &v, now)
+                       .latency;
+            ASSERT_EQ(v, model[a]) << "reader saw speculative state "
+                                      "in episode "
+                                   << episode;
+        }
+
+        // Commit or abort, 50/50.
+        if (rng.percent(50)) {
+            // The Figure-3 routine: retire the W-R/W-W bits the
+            // hardware recorded (the "enemies" here are plain
+            // readers - nobody to abort) before CAS-Committing.
+            ctx.cst.wr.copyAndClear();
+            ctx.cst.ww.copyAndClear();
+            const CommitResult cr = m.memsys().casCommit(
+                0, tsw, TswActive, TswCommitted, now);
+            now += cr.latency;
+            ASSERT_EQ(cr.outcome, CommitOutcome::Committed);
+            for (const auto &[a, v] : spec)
+                model[a] = v;
+        } else {
+            now += m.memsys().abortTx(0, now);
+        }
+        ctx.inTx = false;
+        ctx.rsig.clear();
+        ctx.wsig.clear();
+    }
+
+    for (const auto &[a, v] : model) {
+        std::uint64_t got = 0;
+        m.memsys().peek(a, &got, 8);
+        ASSERT_EQ(got, v);
+    }
+}
+
+} // anonymous namespace
+} // namespace flextm

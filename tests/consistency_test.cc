@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Serializability / snapshot-consistency property tests.
+ *
+ * The core property: a transaction that *commits* must have observed
+ * a consistent snapshot.  Doomed transactions may read inconsistent
+ * state (FlexTM has no opacity - they are killed via AOU before they
+ * can commit), so the check records what each attempt saw and only
+ * the committed attempt's observation must be consistent.
+ *
+ * The workload is a transfer economy: K cells whose sum is invariant
+ * under every transaction; each transaction reads all cells, checks
+ * the invariant, and moves a random amount between two cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime_factory.hh"
+
+namespace flextm
+{
+namespace
+{
+
+struct Param
+{
+    RuntimeKind kind;
+    unsigned threads;
+};
+
+class ConsistencyTest : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(ConsistencyTest, CommittedSnapshotsAreConsistent)
+{
+    const auto [kind, threads] = GetParam();
+    constexpr unsigned cells = 12;
+    constexpr std::uint64_t initial = 500;
+    constexpr unsigned txns_per_thread = 150;
+
+    MachineConfig cfg;
+    cfg.cores = 16;
+    cfg.memoryBytes = 64u << 20;
+    Machine m(cfg);
+    RuntimeFactory f(m, kind);
+
+    const Addr base =
+        m.memory().allocate(cells * lineBytes, lineBytes);
+    for (unsigned i = 0; i < cells; ++i)
+        m.memory().store<std::uint64_t>(base + i * lineBytes,
+                                        initial);
+    auto cell = [base](unsigned i) { return base + i * lineBytes; };
+
+    std::vector<std::unique_ptr<TxThread>> ts;
+    unsigned committed_inconsistent = 0;
+    for (unsigned i = 0; i < threads; ++i) {
+        ts.push_back(f.makeThread(i, i));
+        TxThread *t = ts.back().get();
+        m.scheduler().spawn(i, [&, t] {
+            for (unsigned k = 0; k < txns_per_thread; ++k) {
+                bool consistent = false;
+                t->txn([&] {
+                    // Read the whole economy; the sum is invariant.
+                    std::uint64_t sum = 0;
+                    std::uint64_t vals[cells];
+                    for (unsigned c = 0; c < cells; ++c) {
+                        vals[c] = t->load<std::uint64_t>(cell(c));
+                        sum += vals[c];
+                    }
+                    consistent = (sum == cells * initial);
+                    // Transfer between two cells.
+                    const unsigned from = t->rng().nextInt(cells);
+                    unsigned to = t->rng().nextInt(cells);
+                    if (to == from)
+                        to = (to + 1) % cells;
+                    const std::uint64_t amt =
+                        t->rng().nextInt(vals[from] / 2 + 1);
+                    t->work(10);
+                    t->store<std::uint64_t>(cell(from),
+                                            vals[from] - amt);
+                    t->store<std::uint64_t>(cell(to),
+                                            vals[to] + amt);
+                });
+                // This attempt committed: its snapshot must have
+                // been consistent.
+                if (!consistent)
+                    ++committed_inconsistent;
+            }
+        });
+    }
+    m.run();
+
+    EXPECT_EQ(committed_inconsistent, 0u)
+        << runtimeKindName(kind) << " committed an inconsistent "
+        << "snapshot";
+
+    std::uint64_t final_sum = 0;
+    for (unsigned c = 0; c < cells; ++c) {
+        std::uint64_t v = 0;
+        m.memsys().peek(cell(c), &v, 8);
+        final_sum += v;
+    }
+    EXPECT_EQ(final_sum, std::uint64_t{cells} * initial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConsistencyTest,
+    ::testing::Values(Param{RuntimeKind::FlexTmEager, 2},
+                      Param{RuntimeKind::FlexTmEager, 4},
+                      Param{RuntimeKind::FlexTmEager, 8},
+                      Param{RuntimeKind::FlexTmLazy, 2},
+                      Param{RuntimeKind::FlexTmLazy, 4},
+                      Param{RuntimeKind::FlexTmLazy, 8},
+                      Param{RuntimeKind::Rstm, 4},
+                      Param{RuntimeKind::Rstm, 8},
+                      Param{RuntimeKind::Tl2, 4},
+                      Param{RuntimeKind::Tl2, 8},
+                      Param{RuntimeKind::RtmF, 4},
+                      Param{RuntimeKind::RtmF, 8},
+                      Param{RuntimeKind::Cgl, 4}),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string n = std::string(runtimeKindName(info.param.kind)) +
+                        "_" + std::to_string(info.param.threads) +
+                        "T";
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+/** Mixed transactional and plain accesses: strong isolation keeps
+ *  the economy consistent even when a rogue thread does plain
+ *  writes. */
+TEST(StrongIsolationProperty, PlainWritersSerializeBeforeTxns)
+{
+    constexpr unsigned cells = 8;
+    constexpr std::uint64_t initial = 100;
+    MachineConfig cfg;
+    cfg.cores = 8;
+    cfg.memoryBytes = 64u << 20;
+    Machine m(cfg);
+    RuntimeFactory f(m, RuntimeKind::FlexTmLazy);
+
+    const Addr base =
+        m.memory().allocate(cells * lineBytes, lineBytes);
+    for (unsigned i = 0; i < cells; ++i)
+        m.memory().store<std::uint64_t>(base + i * lineBytes,
+                                        initial);
+    auto cell = [base](unsigned i) { return base + i * lineBytes; };
+
+    // Three transactional transfer threads...
+    std::vector<std::unique_ptr<TxThread>> ts;
+    unsigned bad_snapshots = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        ts.push_back(f.makeThread(i, i));
+        TxThread *t = ts.back().get();
+        m.scheduler().spawn(i, [&, t] {
+            for (unsigned k = 0; k < 100; ++k) {
+                bool sum_even = false;
+                t->txn([&] {
+                    std::uint64_t sum = 0;
+                    for (unsigned c = 0; c < cells; ++c)
+                        sum += t->load<std::uint64_t>(cell(c));
+                    // Plain writers always add 2 to a cell, and
+                    // transfers conserve: the committed view must
+                    // keep the sum even.
+                    sum_even = (sum % 2 == 0);
+                    const unsigned a = t->rng().nextInt(cells);
+                    const unsigned b = (a + 1) % cells;
+                    const auto va = t->load<std::uint64_t>(cell(a));
+                    const auto vb = t->load<std::uint64_t>(cell(b));
+                    t->store<std::uint64_t>(cell(a), va - 1);
+                    t->store<std::uint64_t>(cell(b), vb + 1);
+                });
+                if (!sum_even)
+                    ++bad_snapshots;
+            }
+        });
+    }
+    // ...plus one rogue plain writer (non-transactional).
+    ts.push_back(f.makeThread(3, 3));
+    TxThread *rogue = ts.back().get();
+    m.scheduler().spawn(3, [&, rogue] {
+        for (unsigned k = 0; k < 60; ++k) {
+            const unsigned c = rogue->rng().nextInt(cells);
+            // Lock-free atomic add (CAS loop); the GETX aborts any
+            // transaction speculating on the cell.
+            for (;;) {
+                const auto v = rogue->load<std::uint64_t>(cell(c));
+                if (rogue->atomicCas(cell(c), v, v + 2, 8).success)
+                    break;
+            }
+            rogue->work(400);
+        }
+    });
+    m.run();
+
+    EXPECT_EQ(bad_snapshots, 0u);
+    std::uint64_t final_sum = 0;
+    for (unsigned c = 0; c < cells; ++c) {
+        std::uint64_t v = 0;
+        m.memsys().peek(cell(c), &v, 8);
+        final_sum += v;
+    }
+    // 60 rogue increments of +2 on top of the conserved economy.
+    EXPECT_EQ(final_sum, cells * initial + 60 * 2);
+}
+
+} // anonymous namespace
+} // namespace flextm

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the remaining per-core hardware structures: the AOU
+ * controller (Section 3.4), the overflow table (Section 4), and the
+ * area model (Section 6, Table 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aou.hh"
+#include "core/area_model.hh"
+#include "core/overflow_table.hh"
+
+namespace flextm
+{
+namespace
+{
+
+// ---- AOU -----------------------------------------------------------
+
+TEST(AouTest, MarkAndUnmark)
+{
+    AouController aou;
+    aou.aload(0x1008);  // marks the whole line
+    EXPECT_TRUE(aou.isMarked(0x1000));
+    EXPECT_TRUE(aou.isMarked(0x103f));
+    EXPECT_FALSE(aou.isMarked(0x1040));
+    aou.arelease(0x1000);
+    EXPECT_FALSE(aou.isMarked(0x1008));
+}
+
+TEST(AouTest, DuplicateMarksCollapse)
+{
+    AouController aou;
+    aou.aload(0x2000);
+    aou.aload(0x2010);
+    EXPECT_EQ(aou.markedCount(), 1u);
+}
+
+TEST(AouTest, RaiseAndAcknowledge)
+{
+    AouController aou;
+    EXPECT_FALSE(aou.alertPending());
+    aou.raise(AlertCause::RemoteUpdate, 0x3000);
+    EXPECT_TRUE(aou.alertPending());
+    EXPECT_EQ(aou.lastCause(), AlertCause::RemoteUpdate);
+    EXPECT_EQ(aou.lastAddr(), 0x3000u);
+    aou.acknowledge();
+    EXPECT_FALSE(aou.alertPending());
+}
+
+TEST(AouTest, ClearDropsMarksAndAlert)
+{
+    AouController aou;
+    aou.aload(0x4000);
+    aou.raise(AlertCause::Capacity, 0x4000);
+    aou.clear();
+    EXPECT_FALSE(aou.alertPending());
+    EXPECT_EQ(aou.markedCount(), 0u);
+}
+
+// ---- Overflow table -------------------------------------------------
+
+TEST(OverflowTableTest, InsertFetchInvalidate)
+{
+    OverflowTable ot(2048, 4);
+    std::uint8_t line[lineBytes];
+    for (unsigned i = 0; i < lineBytes; ++i)
+        line[i] = static_cast<std::uint8_t>(i);
+    ot.insert(0x10000, 0x10000, line);
+    EXPECT_EQ(ot.count(), 1u);
+    EXPECT_TRUE(ot.mayContain(0x10000));
+    EXPECT_TRUE(ot.mayContain(0x10020));  // same line
+
+    std::uint8_t out[lineBytes] = {};
+    EXPECT_TRUE(ot.fetchAndInvalidate(0x10000, out));
+    EXPECT_EQ(out[5], 5);
+    EXPECT_TRUE(ot.empty());
+    // The Osig keeps the bits (Bloom filters cannot delete).
+    EXPECT_TRUE(ot.mayContain(0x10000));
+    EXPECT_FALSE(ot.fetchAndInvalidate(0x10000, out));
+}
+
+TEST(OverflowTableTest, FalsePositiveLookupMisses)
+{
+    OverflowTable ot(2048, 4);
+    std::uint8_t line[lineBytes] = {};
+    ot.insert(0x10000, 0x10000, line);
+    std::uint8_t out[lineBytes];
+    EXPECT_FALSE(ot.fetchAndInvalidate(0x20000, out));
+    EXPECT_EQ(ot.count(), 1u);
+}
+
+TEST(OverflowTableTest, CommittedFlag)
+{
+    OverflowTable ot(2048, 4);
+    EXPECT_FALSE(ot.committed());
+    ot.setCommitted(true);
+    EXPECT_TRUE(ot.committed());
+    ot.clear();
+    EXPECT_FALSE(ot.committed());
+}
+
+TEST(OverflowTableTest, RetagMovesPhysicalTag)
+{
+    OverflowTable ot(2048, 4);
+    std::uint8_t line[lineBytes] = {42};
+    ot.insert(0x10000, 0x90000, line);
+    EXPECT_TRUE(ot.retag(0x10000, 0x30000));
+    EXPECT_EQ(ot.find(0x10000), nullptr);
+    const OtEntry *e = ot.find(0x30000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->logical, 0x90000u);  // logical tag preserved
+    EXPECT_EQ(e->data[0], 42);
+    EXPECT_FALSE(ot.retag(0x77777000, 0x88888000));
+}
+
+TEST(OverflowTableTest, StatisticsAccumulate)
+{
+    OverflowTable ot(2048, 4);
+    std::uint8_t line[lineBytes] = {};
+    std::uint8_t out[lineBytes];
+    for (Addr a = 0; a < 5 * lineBytes; a += lineBytes)
+        ot.insert(0x100000 + a, 0x100000 + a, line);
+    EXPECT_EQ(ot.highWater(), 5u);
+    EXPECT_EQ(ot.totalOverflows(), 5u);
+    ot.fetchAndInvalidate(0x100000, out);
+    EXPECT_EQ(ot.totalRefills(), 1u);
+    ot.clear();
+    EXPECT_EQ(ot.totalOverflows(), 5u);  // lifetime stats survive
+}
+
+TEST(OverflowTableTest, ForEachVisitsAll)
+{
+    OverflowTable ot(2048, 4);
+    std::uint8_t line[lineBytes] = {};
+    for (Addr a = 0; a < 3 * lineBytes; a += lineBytes)
+        ot.insert(0x200000 + a, 0x200000 + a, line);
+    unsigned n = 0;
+    ot.forEach([&](const OtEntry &) { ++n; });
+    EXPECT_EQ(n, 3u);
+}
+
+// ---- Area model (Table 2) ------------------------------------------
+
+TEST(AreaModelTest, ReproducesTable2WithinTolerance)
+{
+    AreaModel model(2048);
+    const auto procs = AreaModel::paperProcessors();
+    ASSERT_EQ(procs.size(), 3u);
+
+    struct Expected
+    {
+        double sig, ot, pct_core, pct_l1;
+        unsigned cst_regs, state_bits;
+    };
+    const Expected paper[3] = {
+        {0.033, 0.16, 0.60, 0.35, 3, 2},   // Merom
+        {0.066, 0.24, 0.59, 0.29, 6, 3},   // Power6
+        {0.26, 0.035, 2.60, 3.90, 24, 5},  // Niagara-2
+    };
+    for (int i = 0; i < 3; ++i) {
+        const AreaEstimate e = model.estimate(procs[i]);
+        EXPECT_NEAR(e.signatureMm2, paper[i].sig,
+                    paper[i].sig * 0.10)
+            << procs[i].name;
+        EXPECT_NEAR(e.otControllerMm2, paper[i].ot,
+                    paper[i].ot * 0.25)
+            << procs[i].name;
+        EXPECT_NEAR(e.pctCoreIncrease, paper[i].pct_core,
+                    paper[i].pct_core * 0.25)
+            << procs[i].name;
+        EXPECT_NEAR(e.pctL1Increase, paper[i].pct_l1,
+                    paper[i].pct_l1 * 0.25)
+            << procs[i].name;
+        EXPECT_EQ(e.cstRegisters, paper[i].cst_regs) << procs[i].name;
+        EXPECT_EQ(e.extraStateBits, paper[i].state_bits)
+            << procs[i].name;
+    }
+}
+
+TEST(AreaModelTest, OverheadScalesWithSmt)
+{
+    AreaModel model(2048);
+    ProcessorSpec p{"X", 1, 65, 100, 20, 1.0, 64, 40};
+    const AreaEstimate e1 = model.estimate(p);
+    p.smtThreads = 4;
+    const AreaEstimate e4 = model.estimate(p);
+    EXPECT_GT(e4.signatureMm2, e1.signatureMm2);
+    EXPECT_GT(e4.cstRegisters, e1.cstRegisters);
+    EXPECT_GT(e4.extraStateBits, e1.extraStateBits);
+}
+
+TEST(AreaModelTest, SmallerLinesCostMoreRelativeL1)
+{
+    AreaModel model(2048);
+    ProcessorSpec big{"big", 1, 65, 100, 20, 1.0, 128, 40};
+    ProcessorSpec small{"small", 1, 65, 100, 20, 1.0, 16, 40};
+    EXPECT_GT(model.estimate(small).pctL1Increase,
+              model.estimate(big).pctL1Increase);
+}
+
+} // anonymous namespace
+} // namespace flextm

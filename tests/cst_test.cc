@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Conflict Summary Table unit tests (Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cst.hh"
+
+namespace flextm
+{
+namespace
+{
+
+TEST(CstTest, SetTestClear)
+{
+    ConflictSummaryTable cst;
+    EXPECT_TRUE(cst.empty());
+    cst.set(3);
+    cst.set(17);
+    EXPECT_TRUE(cst.test(3));
+    EXPECT_TRUE(cst.test(17));
+    EXPECT_FALSE(cst.test(4));
+    EXPECT_EQ(cst.popCount(), 2u);
+    cst.clearBit(3);
+    EXPECT_FALSE(cst.test(3));
+    EXPECT_TRUE(cst.test(17));
+    cst.clear();
+    EXPECT_TRUE(cst.empty());
+}
+
+TEST(CstTest, CopyAndClearIsAtomicPair)
+{
+    ConflictSummaryTable cst;
+    cst.set(1);
+    cst.set(5);
+    const std::uint64_t v = cst.copyAndClear();
+    EXPECT_EQ(v, (1ull << 1) | (1ull << 5));
+    EXPECT_TRUE(cst.empty());
+    EXPECT_EQ(cst.copyAndClear(), 0u);
+}
+
+TEST(CstTest, ForEachVisitsExactlySetBits)
+{
+    std::uint64_t mask = (1ull << 0) | (1ull << 9) | (1ull << 63);
+    std::vector<CoreId> seen;
+    ConflictSummaryTable::forEach(mask,
+                                  [&](CoreId c) { seen.push_back(c); });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 0u);
+    EXPECT_EQ(seen[1], 9u);
+    EXPECT_EQ(seen[2], 63u);
+}
+
+TEST(CstTest, UnionWith)
+{
+    ConflictSummaryTable a, b;
+    a.set(2);
+    b.set(7);
+    a.unionWith(b);
+    EXPECT_TRUE(a.test(2));
+    EXPECT_TRUE(a.test(7));
+}
+
+TEST(CstTest, RawRoundTrip)
+{
+    ConflictSummaryTable cst;
+    cst.setRaw(0xdeadULL);
+    EXPECT_EQ(cst.raw(), 0xdeadULL);
+    EXPECT_EQ(cst.popCount(),
+              static_cast<unsigned>(std::popcount(0xdeadULL)));
+}
+
+TEST(CstSetTest, ClearAllAndAllEmpty)
+{
+    CstSet s;
+    EXPECT_TRUE(s.allEmpty());
+    s.rw.set(1);
+    s.ww.set(2);
+    EXPECT_FALSE(s.allEmpty());
+    s.clearAll();
+    EXPECT_TRUE(s.allEmpty());
+}
+
+TEST(CstDeathTest, OutOfRangeCore)
+{
+    ConflictSummaryTable cst;
+    EXPECT_DEATH(cst.set(64), "core < maxCstCores");
+}
+
+} // anonymous namespace
+} // namespace flextm

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * FlexWatcher tests (Section 8): watchpoint semantics, alert
+ * disambiguation, the BugBench programs' detection rates, and the
+ * relative cost ordering baseline < FlexWatcher < software
+ * instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "debug/bugbench.hh"
+#include "runtime/runtime_factory.hh"
+
+namespace flextm
+{
+namespace
+{
+
+MachineConfig
+cfg1()
+{
+    MachineConfig c;
+    c.cores = 2;
+    c.memoryBytes = 64u << 20;
+    return c;
+}
+
+struct Rig
+{
+    Machine m{cfg1()};
+    RuntimeFactory f{m, RuntimeKind::Cgl};
+    std::unique_ptr<TxThread> t{f.makeThread(0, 0)};
+};
+
+TEST(FlexWatcherTest, DetectsWriteToWatchedRange)
+{
+    Rig rig;
+    rig.m.scheduler().spawn(0, [&] {
+        FlexWatcher fw(rig.m, 0);
+        const Addr buf = rig.t->alloc(2 * lineBytes, lineBytes);
+        fw.watchRange(buf + lineBytes, lineBytes);
+        std::vector<Addr> hits;
+        fw.setHandler([&](Addr a) { hits.push_back(a); });
+        fw.activate();
+
+        rig.t->write(buf, 1, 8);  // unwatched line
+        EXPECT_FALSE(fw.poll(*rig.t));
+        rig.t->write(buf + lineBytes + 8, 2, 8);  // watched
+        EXPECT_TRUE(fw.poll(*rig.t));
+        ASSERT_EQ(hits.size(), 1u);
+        EXPECT_GE(hits[0], buf + lineBytes);
+    });
+    rig.m.run();
+}
+
+TEST(FlexWatcherTest, ReadsDontAlertOnWriteWatch)
+{
+    Rig rig;
+    rig.m.scheduler().spawn(0, [&] {
+        FlexWatcher fw(rig.m, 0);
+        const Addr buf = rig.t->alloc(lineBytes, lineBytes);
+        fw.watchRange(buf, lineBytes, FlexWatcher::WatchKind::Writes);
+        fw.activate();
+        (void)rig.t->read(buf, 8);
+        EXPECT_FALSE(fw.poll(*rig.t));
+        EXPECT_EQ(fw.hits(), 0u);
+    });
+    rig.m.run();
+}
+
+TEST(FlexWatcherTest, ReadWriteWatchAlertsOnRead)
+{
+    Rig rig;
+    rig.m.scheduler().spawn(0, [&] {
+        FlexWatcher fw(rig.m, 0);
+        const Addr buf = rig.t->alloc(lineBytes, lineBytes);
+        fw.watchRange(buf, lineBytes,
+                      FlexWatcher::WatchKind::ReadsWrites);
+        fw.activate();
+        (void)rig.t->read(buf, 8);
+        EXPECT_TRUE(fw.poll(*rig.t));
+        EXPECT_EQ(fw.hits(), 1u);
+    });
+    rig.m.run();
+}
+
+TEST(FlexWatcherTest, FalsePositivesAreDisambiguated)
+{
+    Rig rig;
+    rig.m.scheduler().spawn(0, [&] {
+        FlexWatcher fw(rig.m, 0);
+        // Saturate the signature so unwatched lines collide.
+        const Addr watched = rig.t->alloc(lineBytes, lineBytes);
+        fw.watchRange(watched, lineBytes);
+        HwContext &ctx = rig.m.context(0);
+        for (Addr a = 1u << 20; a < (1u << 20) + (1u << 18);
+             a += lineBytes) {
+            ctx.wsig.insert(a);
+        }
+        fw.activate();
+        const Addr other = rig.t->alloc(lineBytes, lineBytes);
+        unsigned confirmed = 0;
+        fw.setHandler([&](Addr) { ++confirmed; });
+        for (unsigned i = 0; i < 50; ++i) {
+            rig.t->write(other, i, 8);
+            fw.poll(*rig.t);
+        }
+        // All alerts on `other` must be filtered out.
+        EXPECT_EQ(confirmed, 0u);
+        EXPECT_GT(fw.falsePositives(), 0u);
+    });
+    rig.m.run();
+}
+
+/** Every BugBench program: FlexWatcher detects all planted bugs. */
+class BugBenchDetection
+    : public ::testing::TestWithParam<std::tuple<int, MonitorMode>>
+{
+};
+
+TEST_P(BugBenchDetection, FindsPlantedBugs)
+{
+    const auto [prog_idx, mode] = GetParam();
+    Rig rig;
+    auto progs = makeBugBench();
+    BugProgram *prog = progs[prog_idx].get();
+    BugRunResult r;
+    rig.m.scheduler().spawn(0, [&] {
+        r = prog->run(rig.m, *rig.t, mode);
+    });
+    rig.m.run();
+    EXPECT_GT(r.bugsPlanted, 0u) << prog->name();
+    EXPECT_GE(r.bugsDetected, r.bugsPlanted) << prog->name();
+    EXPECT_GT(r.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, BugBenchDetection,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(MonitorMode::FlexWatcher,
+                                         MonitorMode::Discover)),
+    [](const ::testing::TestParamInfo<std::tuple<int, MonitorMode>>
+           &info) {
+        auto progs = makeBugBench();
+        std::string n =
+            std::string(progs[std::get<0>(info.param)]->name()) + "_" +
+            monitorModeName(std::get<1>(info.param));
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+/** Monitoring costs are ordered: baseline < FlexWatcher < Discover. */
+TEST(FlexWatcherTest, OverheadOrdering)
+{
+    auto run_mode = [](int prog_idx, MonitorMode mode) {
+        Rig rig;
+        auto progs = makeBugBench();
+        BugRunResult r;
+        rig.m.scheduler().spawn(0, [&] {
+            r = progs[prog_idx]->run(rig.m, *rig.t, mode);
+        });
+        rig.m.run();
+        return r.cycles;
+    };
+    for (int p = 0; p < 5; ++p) {
+        const Cycles base = run_mode(p, MonitorMode::None);
+        const Cycles fw = run_mode(p, MonitorMode::FlexWatcher);
+        const Cycles dis = run_mode(p, MonitorMode::Discover);
+        EXPECT_LE(base, fw) << "program " << p;
+        EXPECT_LT(fw, dis) << "program " << p;
+        // FlexWatcher stays within the paper's band (< ~4x).
+        EXPECT_LT(static_cast<double>(fw) / base, 4.0)
+            << "program " << p;
+        // Software instrumentation is an order of magnitude worse.
+        EXPECT_GT(static_cast<double>(dis) / base, 4.0)
+            << "program " << p;
+    }
+}
+
+} // anonymous namespace
+} // namespace flextm

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Closed-nesting tests (the nesting extension of Section 9):
+ * partial rollback of nested levels, nesting depth, interaction with
+ * full aborts, and runtime-agnosticism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime_factory.hh"
+
+namespace flextm
+{
+namespace
+{
+
+MachineConfig
+cfg4()
+{
+    MachineConfig c;
+    c.cores = 4;
+    c.memoryBytes = 64u << 20;
+    return c;
+}
+
+TEST(NestingTest, NestedCommitKeepsWrites)
+{
+    Machine m(cfg4());
+    RuntimeFactory f(m, RuntimeKind::FlexTmLazy);
+    const Addr a = m.memory().allocate(lineBytes, lineBytes);
+    const Addr b = m.memory().allocate(lineBytes, lineBytes);
+    auto t = f.makeThread(0, 0);
+
+    m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            t->store<std::uint64_t>(a, 1);
+            const bool ok = t->txnNested([&] {
+                t->store<std::uint64_t>(b, 2);
+            });
+            EXPECT_TRUE(ok);
+        });
+    });
+    m.run();
+    std::uint64_t va = 0, vb = 0;
+    m.memsys().peek(a, &va, 8);
+    m.memsys().peek(b, &vb, 8);
+    EXPECT_EQ(va, 1u);
+    EXPECT_EQ(vb, 2u);
+}
+
+TEST(NestingTest, AbortNestedRollsBackOnlyInnerWrites)
+{
+    Machine m(cfg4());
+    RuntimeFactory f(m, RuntimeKind::FlexTmLazy);
+    const Addr a = m.memory().allocate(lineBytes, lineBytes);
+    const Addr b = m.memory().allocate(lineBytes, lineBytes);
+    auto t = f.makeThread(0, 0);
+
+    m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            t->store<std::uint64_t>(a, 10);
+            const bool ok = t->txnNested([&] {
+                t->store<std::uint64_t>(a, 99);  // overwrites outer
+                t->store<std::uint64_t>(b, 99);
+                t->abortNested();
+            });
+            EXPECT_FALSE(ok);
+            // Inner writes undone, outer write intact - visible
+            // from inside the still-running transaction.
+            EXPECT_EQ(t->load<std::uint64_t>(a), 10u);
+            EXPECT_EQ(t->load<std::uint64_t>(b), 0u);
+        });
+    });
+    m.run();
+    EXPECT_EQ(t->commits(), 1u);
+    std::uint64_t va = 1, vb = 1;
+    m.memsys().peek(a, &va, 8);
+    m.memsys().peek(b, &vb, 8);
+    EXPECT_EQ(va, 10u);
+    EXPECT_EQ(vb, 0u);
+}
+
+TEST(NestingTest, TwoLevelsRollBackIndependently)
+{
+    Machine m(cfg4());
+    RuntimeFactory f(m, RuntimeKind::FlexTmLazy);
+    const Addr cells = m.memory().allocate(4 * lineBytes, lineBytes);
+    auto cell = [cells](unsigned i) { return cells + i * lineBytes; };
+    auto t = f.makeThread(0, 0);
+
+    m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            t->store<std::uint64_t>(cell(0), 1);
+            t->txnNested([&] {
+                t->store<std::uint64_t>(cell(1), 2);
+                const bool inner2 = t->txnNested([&] {
+                    t->store<std::uint64_t>(cell(2), 3);
+                    t->abortNested();
+                });
+                EXPECT_FALSE(inner2);
+                // Level-2 write undone, level-1 write intact.
+                EXPECT_EQ(t->load<std::uint64_t>(cell(2)), 0u);
+                EXPECT_EQ(t->load<std::uint64_t>(cell(1)), 2u);
+            });
+        });
+    });
+    m.run();
+    std::uint64_t v1 = 0, v2 = 1;
+    m.memsys().peek(cell(1), &v1, 8);
+    m.memsys().peek(cell(2), &v2, 8);
+    EXPECT_EQ(v1, 2u);
+    EXPECT_EQ(v2, 0u);
+}
+
+TEST(NestingTest, RepeatedWritesRestoreOldestValue)
+{
+    Machine m(cfg4());
+    RuntimeFactory f(m, RuntimeKind::FlexTmLazy);
+    const Addr a = m.memory().allocate(lineBytes, lineBytes);
+    auto t = f.makeThread(0, 0);
+
+    m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            t->store<std::uint64_t>(a, 5);
+            t->txnNested([&] {
+                t->store<std::uint64_t>(a, 6);
+                t->store<std::uint64_t>(a, 7);
+                t->store<std::uint64_t>(a, 8);
+                t->abortNested();
+            });
+            EXPECT_EQ(t->load<std::uint64_t>(a), 5u);
+        });
+    });
+    m.run();
+    std::uint64_t v = 0;
+    m.memsys().peek(a, &v, 8);
+    EXPECT_EQ(v, 5u);
+}
+
+/** A full (conflict) abort inside a nested level restarts the whole
+ *  transaction with clean nesting state. */
+TEST(NestingTest, FullAbortInsideNestedRestartsOutermost)
+{
+    Machine m(cfg4());
+    RuntimeFactory f(m, RuntimeKind::FlexTmLazy);
+    const Addr a = m.memory().allocate(lineBytes, lineBytes);
+    auto t = f.makeThread(0, 0);
+
+    unsigned outer_runs = 0;
+    m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            ++outer_runs;
+            t->store<std::uint64_t>(a, outer_runs);
+            t->txnNested([&] {
+                if (outer_runs == 1)
+                    t->restartTx();  // full restart from inside
+            });
+        });
+    });
+    m.run();
+    EXPECT_EQ(outer_runs, 2u);
+    EXPECT_EQ(t->commits(), 1u);
+    std::uint64_t v = 0;
+    m.memsys().peek(a, &v, 8);
+    EXPECT_EQ(v, 2u);
+}
+
+/** Nesting works on every runtime (it is built on the generic
+ *  read/write API). */
+class NestingMatrix : public ::testing::TestWithParam<RuntimeKind>
+{
+};
+
+TEST_P(NestingMatrix, PartialRollbackEverywhere)
+{
+    Machine m(cfg4());
+    RuntimeFactory f(m, GetParam());
+    const Addr a = m.memory().allocate(lineBytes, lineBytes);
+    const Addr b = m.memory().allocate(lineBytes, lineBytes);
+    auto t = f.makeThread(0, 0);
+
+    m.scheduler().spawn(0, [&] {
+        for (int i = 0; i < 10; ++i) {
+            t->txn([&] {
+                const auto va = t->load<std::uint64_t>(a);
+                t->store<std::uint64_t>(a, va + 1);
+                const bool keep = (i % 2 == 0);
+                t->txnNested([&] {
+                    const auto vb = t->load<std::uint64_t>(b);
+                    t->store<std::uint64_t>(b, vb + 1);
+                    if (!keep)
+                        t->abortNested();
+                });
+            });
+        }
+    });
+    m.run();
+    std::uint64_t va = 0, vb = 0;
+    m.memsys().peek(a, &va, 8);
+    m.memsys().peek(b, &vb, 8);
+    EXPECT_EQ(va, 10u);  // all outer increments
+    EXPECT_EQ(vb, 5u);   // only the kept nested increments
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, NestingMatrix,
+    ::testing::Values(RuntimeKind::FlexTmEager, RuntimeKind::FlexTmLazy,
+                      RuntimeKind::Cgl, RuntimeKind::Rstm,
+                      RuntimeKind::Tl2, RuntimeKind::RtmF),
+    [](const ::testing::TestParamInfo<RuntimeKind> &info) {
+        std::string n = runtimeKindName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+} // anonymous namespace
+} // namespace flextm

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Context-switch virtualization tests (Section 5): transactions
+ * survive suspension, conflicts against suspended transactions are
+ * caught through the summary signatures, migration aborts, and page
+ * remapping keeps signatures/OT consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/tx_os.hh"
+#include "runtime/runtime_factory.hh"
+
+namespace flextm
+{
+namespace
+{
+
+MachineConfig
+cfg4()
+{
+    MachineConfig c;
+    c.cores = 4;
+    c.memoryBytes = 64u << 20;
+    return c;
+}
+
+struct OsRig
+{
+    Machine m{cfg4()};
+    RuntimeFactory f{m, RuntimeKind::FlexTmLazy};
+    TxOs os;
+
+    OsRig() : os(m, *f.flexGlobals()) {}
+};
+
+/** A suspended transaction resumes and commits when unconflicted. */
+TEST(TxOsTest, SuspendResumeCommits)
+{
+    OsRig rig;
+    const Addr cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto t = rig.f.makeThread(0, 0);
+    auto *ft = static_cast<FlexTmThread *>(t.get());
+
+    rig.m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            t->store<std::uint64_t>(cell, 7);
+            rig.os.suspend(*ft);
+            EXPECT_TRUE(rig.os.isSuspended(*ft));
+            EXPECT_NE(rig.os.coresSummary(), 0u);
+            // Simulated time passes while descheduled.
+            t->work(5000);
+            rig.os.resume(*ft);
+            const auto v = t->load<std::uint64_t>(cell);
+            t->store<std::uint64_t>(cell, v + 1);
+        });
+    });
+    rig.m.run();
+    EXPECT_EQ(t->commits(), 1u);
+    std::uint64_t v = 0;
+    rig.m.memsys().peek(cell, &v, 8);
+    EXPECT_EQ(v, 8u);
+    EXPECT_EQ(rig.os.suspendedCount(), 0u);
+}
+
+/** While suspended, speculative TMI state sits in the OT, not L1. */
+TEST(TxOsTest, SuspendSpillsSpeculativeState)
+{
+    OsRig rig;
+    const Addr cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto t = rig.f.makeThread(0, 0);
+    auto *ft = static_cast<FlexTmThread *>(t.get());
+
+    rig.m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            t->store<std::uint64_t>(cell, 99);
+            EXPECT_EQ(rig.m.memsys().l1(0).countState(LineState::TMI),
+                      1u);
+            rig.os.suspend(*ft);
+            EXPECT_EQ(rig.m.memsys().l1(0).countState(LineState::TMI),
+                      0u);
+            EXPECT_FALSE(ft->overflowTable().empty());
+            // Speculative data invisible while suspended.
+            std::uint64_t stable = 1;
+            rig.m.memsys().peek(cell, &stable, 8);
+            EXPECT_EQ(stable, 0u);
+            rig.os.resume(*ft);
+            // Refill from the OT on access.
+            EXPECT_EQ(t->load<std::uint64_t>(cell), 99u);
+        });
+    });
+    rig.m.run();
+    EXPECT_EQ(t->commits(), 1u);
+    std::uint64_t v = 0;
+    rig.m.memsys().peek(cell, &v, 8);
+    EXPECT_EQ(v, 99u);
+}
+
+/**
+ * A running transaction that writes what a suspended transaction
+ * wrote is detected through the summary signatures; the committer
+ * aborts the suspended transaction via the CMT, and the suspended
+ * transaction notices at resume.
+ */
+TEST(TxOsTest, SummarySignatureConflictAbortsSuspended)
+{
+    OsRig rig;
+    const Addr cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto ta = rig.f.makeThread(0, 0);
+    auto tb = rig.f.makeThread(1, 1);
+    auto *fa = static_cast<FlexTmThread *>(ta.get());
+    SimBarrier bar_suspended(rig.m.scheduler(), 2);
+    SimBarrier bar_committed(rig.m.scheduler(), 2);
+
+    unsigned a_attempts = 0;
+    rig.m.scheduler().spawn(0, [&] {
+        ta->txn([&] {
+            ++a_attempts;
+            if (a_attempts == 1) {
+                ta->store<std::uint64_t>(cell, 1);
+                rig.os.suspend(*fa);
+                bar_suspended.wait();   // let B conflict and commit
+                bar_committed.wait();
+                rig.os.resume(*fa);     // must throw TxAbort
+                ADD_FAILURE() << "resume should have aborted";
+            } else {
+                // Retry after the abort: plain rerun.
+                ta->store<std::uint64_t>(cell, 1);
+            }
+        });
+    });
+    rig.m.scheduler().spawn(1, [&] {
+        bar_suspended.wait();
+        tb->txn([&] { tb->store<std::uint64_t>(cell, 2); });
+        bar_committed.wait();
+    });
+    rig.m.run();
+
+    EXPECT_EQ(a_attempts, 2u);
+    EXPECT_EQ(ta->commits(), 1u);
+    EXPECT_EQ(ta->aborts(), 1u);
+    EXPECT_EQ(tb->commits(), 1u);
+    EXPECT_GE(rig.m.stats().counterValue("os.summary_traps"), 1u);
+    EXPECT_GE(rig.m.stats().counterValue("os.suspended_aborts"), 1u);
+    std::uint64_t v = 0;
+    rig.m.memsys().peek(cell, &v, 8);
+    EXPECT_EQ(v, 1u);  // A retried and committed last
+}
+
+/** A non-transactional write aborts a suspended reader (strong
+ *  isolation through the summary path). */
+TEST(TxOsTest, StrongIsolationReachesSuspended)
+{
+    OsRig rig;
+    const Addr cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto ta = rig.f.makeThread(0, 0);
+    auto tb = rig.f.makeThread(1, 1);
+    auto *fa = static_cast<FlexTmThread *>(ta.get());
+    SimBarrier bar1(rig.m.scheduler(), 2);
+    SimBarrier bar2(rig.m.scheduler(), 2);
+
+    unsigned a_attempts = 0;
+    rig.m.scheduler().spawn(0, [&] {
+        ta->txn([&] {
+            ++a_attempts;
+            if (a_attempts == 1) {
+                (void)ta->load<std::uint64_t>(cell);
+                rig.os.suspend(*fa);
+                bar1.wait();
+                bar2.wait();
+                rig.os.resume(*fa);
+                ADD_FAILURE() << "resume should have aborted";
+            }
+        });
+    });
+    rig.m.scheduler().spawn(1, [&] {
+        bar1.wait();
+        tb->store<std::uint64_t>(cell, 5);  // plain write
+        bar2.wait();
+    });
+    rig.m.run();
+    EXPECT_EQ(a_attempts, 2u);
+    EXPECT_EQ(ta->aborts(), 1u);
+}
+
+/**
+ * Regression: a line speculatively written by a *suspended*
+ * transaction must keep Threatened semantics - readers may not
+ * install a stable cached copy, or the suspended transaction's
+ * commit (from its overflow table) would leave them incoherent.
+ */
+TEST(TxOsTest, SuspendedWriterThreatensReaders)
+{
+    OsRig rig;
+    const Addr cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto ta = rig.f.makeThread(0, 0);
+    auto tb = rig.f.makeThread(1, 1);
+    auto *fa = static_cast<FlexTmThread *>(ta.get());
+    SimBarrier suspended(rig.m.scheduler(), 2);
+    SimBarrier read_done(rig.m.scheduler(), 2);
+
+
+    rig.m.scheduler().spawn(0, [&] {
+        ta->txn([&] {
+            ta->store<std::uint64_t>(cell, 77);
+            if (!rig.os.isSuspended(*fa)) {
+                rig.os.suspend(*fa);
+                suspended.wait();
+                read_done.wait();
+                rig.os.resume(*fa);
+            }
+        });
+    });
+    rig.m.scheduler().spawn(1, [&] {
+        suspended.wait();
+        // Plain read while the writer is suspended: stable value,
+        // and crucially NOT cached.
+        EXPECT_EQ(tb->load<std::uint64_t>(cell), 0u);
+        EXPECT_EQ(rig.m.memsys().l1(1).probe(cell), nullptr)
+            << "reader cached a line a suspended txn wrote";
+        read_done.wait();
+    });
+    rig.m.run();
+
+    EXPECT_EQ(ta->commits(), 1u);
+    // After the suspended transaction resumed and committed, the
+    // reader must observe the new value (no stale copy).
+    std::uint64_t v = 0;
+    rig.m.scheduler().spawn(1, [&] {
+        v = tb->load<std::uint64_t>(cell);
+    });
+    rig.m.run();
+    EXPECT_EQ(v, 77u);
+}
+
+/** Migration policy: abort and restart. */
+TEST(TxOsTest, MigrationAborts)
+{
+    OsRig rig;
+    const Addr cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto t = rig.f.makeThread(0, 0);
+    auto *ft = static_cast<FlexTmThread *>(t.get());
+
+    unsigned attempts = 0;
+    rig.m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            ++attempts;
+            t->store<std::uint64_t>(cell, attempts);
+            if (attempts == 1) {
+                rig.os.suspend(*ft);
+                rig.os.resumeMigrated(*ft);
+            }
+        });
+    });
+    rig.m.run();
+    EXPECT_EQ(attempts, 2u);
+    EXPECT_EQ(t->commits(), 1u);
+    EXPECT_EQ(t->aborts(), 1u);
+}
+
+/**
+ * Two threads time-share ONE core: A suspends mid-transaction, B
+ * (bound to the same core) runs complete transactions, then A
+ * resumes and commits.  This is the "unbounded in time" property:
+ * transactional state survives a real context switch with another
+ * transaction using the core's hardware in between.
+ */
+TEST(TxOsTest, TwoThreadsTimeShareOneCore)
+{
+    OsRig rig;
+    const Addr a_cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    const Addr b_cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto ta = rig.f.makeThread(0, 0);
+    auto tb = rig.f.makeThread(1, 0);  // same core!
+    auto *fa = static_cast<FlexTmThread *>(ta.get());
+    SimBarrier a_off_core(rig.m.scheduler(), 2);
+    SimBarrier b_done(rig.m.scheduler(), 2);
+
+    rig.m.scheduler().spawn(0, [&] {
+        ta->txn([&] {
+            ta->store<std::uint64_t>(a_cell, 111);
+            if (!rig.os.isSuspended(*fa)) {
+                rig.os.suspend(*fa);
+                a_off_core.wait();  // B takes the core
+                b_done.wait();
+                rig.os.resume(*fa);
+            }
+            // Speculative state survived B's use of the core.
+            EXPECT_EQ(ta->load<std::uint64_t>(a_cell), 111u);
+        });
+    });
+    rig.m.scheduler().spawn(0, [&] {
+        a_off_core.wait();
+        for (int i = 0; i < 20; ++i) {
+            tb->txn([&] {
+                const auto v = tb->load<std::uint64_t>(b_cell);
+                tb->store<std::uint64_t>(b_cell, v + 1);
+            });
+        }
+        b_done.wait();
+    });
+    rig.m.run();
+
+    EXPECT_EQ(ta->commits(), 1u);
+    EXPECT_EQ(tb->commits(), 20u);
+    EXPECT_EQ(tb->aborts(), 0u);  // disjoint data: no conflicts
+    std::uint64_t va = 0, vb = 0;
+    rig.m.memsys().peek(a_cell, &va, 8);
+    rig.m.memsys().peek(b_cell, &vb, 8);
+    EXPECT_EQ(va, 111u);
+    EXPECT_EQ(vb, 20u);
+}
+
+/**
+ * Time-sharing with conflict: B (same core) writes what suspended A
+ * wrote; A must lose and retry.
+ */
+TEST(TxOsTest, TimeSharedConflictKillsSuspended)
+{
+    OsRig rig;
+    const Addr cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto ta = rig.f.makeThread(0, 0);
+    auto tb = rig.f.makeThread(1, 0);  // same core
+    auto *fa = static_cast<FlexTmThread *>(ta.get());
+    SimBarrier a_off_core(rig.m.scheduler(), 2);
+    SimBarrier b_done(rig.m.scheduler(), 2);
+
+    unsigned a_attempts = 0;
+    rig.m.scheduler().spawn(0, [&] {
+        ta->txn([&] {
+            ++a_attempts;
+            ta->store<std::uint64_t>(cell, 1);
+            if (a_attempts == 1) {
+                rig.os.suspend(*fa);
+                a_off_core.wait();
+                b_done.wait();
+                rig.os.resume(*fa);  // throws: B killed us
+                ADD_FAILURE() << "suspended loser resumed cleanly";
+            }
+        });
+    });
+    rig.m.scheduler().spawn(0, [&] {
+        a_off_core.wait();
+        tb->txn([&] { tb->store<std::uint64_t>(cell, 2); });
+        b_done.wait();
+    });
+    rig.m.run();
+
+    EXPECT_EQ(a_attempts, 2u);
+    EXPECT_EQ(ta->commits(), 1u);
+    EXPECT_EQ(tb->commits(), 1u);
+    std::uint64_t v = 0;
+    rig.m.memsys().peek(cell, &v, 8);
+    EXPECT_EQ(v, 1u);  // A retried after B and won
+}
+
+/** Page remap keeps OT entries and signatures valid. */
+TEST(TxOsTest, PageRemapRetagsOtAndSignatures)
+{
+    OsRig rig;
+    // Two "pages" of 4 lines each.
+    const std::size_t page = 4 * lineBytes;
+    const Addr oldp = rig.m.memory().allocate(page, page);
+    const Addr newp = rig.m.memory().allocate(page, page);
+    auto t = rig.f.makeThread(0, 0);
+    auto *ft = static_cast<FlexTmThread *>(t.get());
+
+    rig.m.scheduler().spawn(0, [&] {
+        t->txn([&] {
+            t->store<std::uint64_t>(oldp, 123);
+            rig.os.suspend(*ft);   // spills TMI line to the OT
+            EXPECT_TRUE(ft->overflowTable().mayContain(oldp));
+            rig.os.remapPage(oldp, newp, page);
+            EXPECT_TRUE(ft->overflowTable().mayContain(newp));
+            EXPECT_NE(ft->overflowTable().find(newp), nullptr);
+            rig.os.resume(*ft);
+            // The write is now reachable at its new physical frame.
+            EXPECT_EQ(t->load<std::uint64_t>(newp), 123u);
+        });
+    });
+    rig.m.run();
+    EXPECT_EQ(t->commits(), 1u);
+    std::uint64_t v = 0;
+    rig.m.memsys().peek(newp, &v, 8);
+    EXPECT_EQ(v, 123u);
+}
+
+} // anonymous namespace
+} // namespace flextm

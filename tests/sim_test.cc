@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Simulation-kernel unit tests: scheduler ordering and fairness,
+ * barriers, the RNG/Zipf sampler, statistics, and the simulated
+ * memory allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+#include "sim/sim_memory.hh"
+#include "sim/stats.hh"
+#include "sim/thread.hh"
+
+namespace flextm
+{
+namespace
+{
+
+TEST(SchedulerTest, RunsSingleThreadToCompletion)
+{
+    Scheduler s;
+    int steps = 0;
+    s.spawn(0, [&] {
+        for (int i = 0; i < 10; ++i) {
+            ++steps;
+            s.advance(1);
+            s.yield();
+        }
+    });
+    s.run();
+    EXPECT_EQ(steps, 10);
+    EXPECT_EQ(s.maxClock(), 10u);
+}
+
+TEST(SchedulerTest, InterleavesByMinClock)
+{
+    Scheduler s;
+    std::vector<int> order;
+    // Thread 0 advances 10 per step, thread 1 advances 3 per step:
+    // thread 1 must run more often early on.
+    s.spawn(0, [&] {
+        for (int i = 0; i < 3; ++i) {
+            order.push_back(0);
+            s.advance(10);
+            s.yield();
+        }
+    });
+    s.spawn(1, [&] {
+        for (int i = 0; i < 10; ++i) {
+            order.push_back(1);
+            s.advance(3);
+            s.yield();
+        }
+    });
+    s.run();
+    // First four entries: t0@0, t1@0, t1@3, t1@6, t1@9 ... exact
+    // prefix: clocks 0,0 -> tie broken by spawn order (thread 0
+    // first), then thread 1 runs until its clock passes 10.
+    ASSERT_GE(order.size(), 6u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 1);
+    EXPECT_EQ(order[3], 1);
+    EXPECT_EQ(order[4], 1);
+    // thread 1 at clock 12 > thread 0 at 10 -> thread 0 again
+    EXPECT_EQ(order[5], 0);
+}
+
+TEST(SchedulerTest, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        Scheduler s;
+        std::vector<std::uint64_t> trace;
+        for (unsigned t = 0; t < 4; ++t) {
+            s.spawn(t, [&s, &trace, t] {
+                Rng rng(100 + t);
+                for (int i = 0; i < 50; ++i) {
+                    trace.push_back(t * 1000 + s.now());
+                    s.advance(1 + rng.nextInt(20));
+                    s.yield();
+                }
+            });
+        }
+        s.run();
+        return trace;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SchedulerTest, BlockAndWake)
+{
+    Scheduler s;
+    bool resumed = false;
+    ThreadId sleeper = s.spawn(0, [&] {
+        s.block();
+        resumed = true;
+    });
+    s.spawn(1, [&] {
+        s.advance(100);
+        s.yield();
+        s.wake(sleeper);
+    });
+    s.run();
+    EXPECT_TRUE(resumed);
+    // The woken thread was pulled forward to the waker's clock.
+    EXPECT_GE(s.thread(sleeper).clock(), 100u);
+}
+
+TEST(SchedulerTest, BarrierReleasesAllParties)
+{
+    Scheduler s;
+    SimBarrier bar(s, 3);
+    int after = 0;
+    for (unsigned t = 0; t < 3; ++t) {
+        s.spawn(t, [&s, &bar, &after, t] {
+            s.advance(t * 10);
+            s.yield();
+            bar.wait();
+            ++after;
+        });
+    }
+    s.run();
+    EXPECT_EQ(after, 3);
+}
+
+TEST(SchedulerTest, BarrierReusable)
+{
+    Scheduler s;
+    SimBarrier bar(s, 2);
+    std::vector<int> log;
+    for (unsigned t = 0; t < 2; ++t) {
+        s.spawn(t, [&, t] {
+            for (int round = 0; round < 3; ++round) {
+                bar.wait();
+                log.push_back(static_cast<int>(t));
+            }
+        });
+    }
+    s.run();
+    EXPECT_EQ(log.size(), 6u);
+}
+
+TEST(RngTest, DeterministicPerSeed)
+{
+    Rng a(7), b(7), c(8);
+    bool all_same = true;
+    bool any_diff_c = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        if (va != b.next())
+            all_same = false;
+        if (va != c.next())
+            any_diff_c = true;
+    }
+    EXPECT_TRUE(all_same);
+    EXPECT_TRUE(any_diff_c);
+}
+
+TEST(RngTest, BoundsRespected)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.nextInt(17), 17u);
+        const auto v = r.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(ZipfTest, HeavilySkewedTowardsZero)
+{
+    ZipfSampler zipf(2048);
+    Rng rng(5);
+    unsigned zero_hits = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; ++i) {
+        if (zipf.sample(rng) == 0)
+            ++zero_hits;
+    }
+    // p(0) = (1/1) / sum j^-2 ~ 0.61
+    const double frac = static_cast<double>(zero_hits) / n;
+    EXPECT_GT(frac, 0.55);
+    EXPECT_LT(frac, 0.68);
+}
+
+TEST(ZipfTest, AllValuesInRange)
+{
+    ZipfSampler zipf(16);
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(rng), 16u);
+}
+
+TEST(HistogramTest, MedianAndPercentiles)
+{
+    Histogram h;
+    for (std::uint64_t v : {5u, 1u, 9u, 3u, 7u})
+        h.add(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 9u);
+    EXPECT_EQ(h.median(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(HistogramTest, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.median(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(StatRegistryTest, CountersIndependent)
+{
+    StatRegistry r;
+    ++r.counter("a");
+    r.counter("b") += 5;
+    EXPECT_EQ(r.counterValue("a"), 1u);
+    EXPECT_EQ(r.counterValue("b"), 5u);
+    EXPECT_EQ(r.counterValue("missing"), 0u);
+}
+
+TEST(SimMemoryTest, AllocateAlignedAndDistinct)
+{
+    SimMemory mem(4u << 20);
+    std::set<Addr> seen;
+    for (int i = 0; i < 100; ++i) {
+        const Addr a = mem.allocate(64, 64);
+        EXPECT_EQ(a % 64, 0u);
+        EXPECT_TRUE(seen.insert(a).second);
+    }
+    EXPECT_EQ(mem.liveAllocations(), 100u);
+}
+
+TEST(SimMemoryTest, FreeCoalescesAndReuses)
+{
+    SimMemory mem(4u << 20);
+    const Addr a = mem.allocate(128, 64);
+    const Addr b = mem.allocate(128, 64);
+    const Addr c = mem.allocate(128, 64);
+    (void)c;
+    mem.free(a);
+    mem.free(b);
+    // A coalesced block can satisfy a larger request at a's address.
+    const Addr d = mem.allocate(256, 64);
+    EXPECT_EQ(d, a);
+}
+
+TEST(SimMemoryTest, DataRoundTrip)
+{
+    SimMemory mem(4u << 20);
+    const Addr a = mem.allocate(64, 64);
+    mem.store<std::uint64_t>(a, 0xdeadbeefULL);
+    EXPECT_EQ(mem.load<std::uint64_t>(a), 0xdeadbeefULL);
+    mem.store<std::uint32_t>(a + 8, 42);
+    EXPECT_EQ(mem.load<std::uint32_t>(a + 8), 42u);
+}
+
+TEST(SimMemoryTest, AddressZeroNeverAllocated)
+{
+    SimMemory mem(4u << 20);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_NE(mem.allocate(8), 0u);
+}
+
+TEST(SimMemoryDeathTest, NullDereferencePanics)
+{
+    SimMemory mem(4u << 20);
+    std::uint64_t v;
+    EXPECT_DEATH(mem.read(0, &v, 8), "null simulated pointer");
+}
+
+TEST(SimMemoryDeathTest, DoubleFreePanics)
+{
+    SimMemory mem(4u << 20);
+    const Addr a = mem.allocate(64);
+    mem.free(a);
+    EXPECT_DEATH(mem.free(a), "free of unallocated");
+}
+
+} // anonymous namespace
+} // namespace flextm

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Workload correctness: structural invariants after concurrent runs
+ * on every runtime, plus an RBTree property test against std::set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/hash_table.hh"
+#include "workloads/rb_tree.hh"
+#include "workloads/workload.hh"
+
+namespace flextm
+{
+namespace
+{
+
+MachineConfig
+cfg4()
+{
+    MachineConfig c;
+    c.cores = 4;
+    c.memoryBytes = 64u << 20;
+    return c;
+}
+
+/** RBTree ops mirror a std::set exactly (single-threaded). */
+TEST(RbTreeProperty, MatchesStdSetSingleThread)
+{
+    Machine m(cfg4());
+    RuntimeFactory f(m, RuntimeKind::FlexTmLazy);
+    auto t = f.makeThread(0, 0);
+
+    m.scheduler().spawn(0, [&] {
+        TxRbTree tree = TxRbTree::create(*t);
+        std::set<std::uint64_t> model;
+        Rng rng(42);
+        for (int i = 0; i < 3000; ++i) {
+            const std::uint64_t k = rng.nextInt(512);
+            const unsigned op = static_cast<unsigned>(rng.nextInt(3));
+            t->txn([&] {
+                switch (op) {
+                  case 0: {
+                      const bool ins = tree.insert(*t, k, k);
+                      ASSERT_EQ(ins, !model.count(k));
+                      model.insert(k);
+                      break;
+                  }
+                  case 1: {
+                      const bool rem = tree.remove(*t, k);
+                      ASSERT_EQ(rem, model.count(k) != 0);
+                      model.erase(k);
+                      break;
+                  }
+                  default: {
+                      const bool found = tree.lookup(*t, k);
+                      ASSERT_EQ(found, model.count(k) != 0);
+                      break;
+                  }
+                }
+            });
+            if (i % 250 == 0)
+                tree.verify(*t);
+        }
+        tree.verify(*t);
+        EXPECT_EQ(tree.size(*t), model.size());
+    });
+    m.run();
+}
+
+/** Every workload preserves its invariants under concurrency. */
+class WorkloadInvariant
+    : public ::testing::TestWithParam<
+          std::tuple<WorkloadKind, RuntimeKind>>
+{
+};
+
+TEST_P(WorkloadInvariant, HoldsAfterParallelRun)
+{
+    const auto [wk, rk] = GetParam();
+    MachineConfig cfg;
+    cfg.cores = 4;
+    cfg.memoryBytes = 128u << 20;
+
+    Machine m(cfg);
+    RuntimeFactory f(m, rk);
+    auto wl = makeWorkload(wk);
+
+    {
+        auto t0 = f.makeThread(0, 0);
+        m.scheduler().spawn(0, [&] { wl->setup(*t0); });
+        m.run();
+    }
+    const Cycles setup_end = m.scheduler().maxClock();
+
+    std::vector<std::unique_ptr<TxThread>> ts;
+    std::uint64_t issued = 0;
+    const unsigned total = wk == WorkloadKind::Delaunay ? 40 : 300;
+    for (unsigned i = 0; i < 4; ++i) {
+        ts.push_back(f.makeThread(1 + i, i));
+        TxThread *t = ts.back().get();
+        Workload *w = wl.get();
+        auto tid = m.scheduler().spawn(i, [t, w, &issued, total] {
+            while (issued < total) {
+                ++issued;
+                w->runOne(*t);
+            }
+        });
+        m.scheduler().thread(tid).syncClock(setup_end);
+    }
+    m.run();
+
+    // Verify on a fresh thread.
+    auto tv = f.makeThread(5, 0);
+    m.scheduler().spawn(0, [&] { wl->verify(*tv); });
+    m.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, WorkloadInvariant,
+    ::testing::Combine(
+        ::testing::Values(WorkloadKind::HashTable, WorkloadKind::RBTree,
+                          WorkloadKind::LFUCache,
+                          WorkloadKind::RandomGraph,
+                          WorkloadKind::Delaunay,
+                          WorkloadKind::VacationHigh),
+        ::testing::Values(RuntimeKind::FlexTmEager,
+                          RuntimeKind::FlexTmLazy, RuntimeKind::Cgl,
+                          RuntimeKind::Tl2, RuntimeKind::Rstm,
+                          RuntimeKind::RtmF)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<WorkloadKind, RuntimeKind>> &info) {
+        std::string n =
+            std::string(workloadKindName(std::get<0>(info.param))) +
+            "_" + runtimeKindName(std::get<1>(info.param));
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+/** The harness reports sane numbers. */
+TEST(Harness, ReportsThroughput)
+{
+    ExperimentOptions opt;
+    opt.threads = 2;
+    opt.totalOps = 100;
+    opt.machine.cores = 4;
+    opt.machine.memoryBytes = 64u << 20;
+    const ExperimentResult r = runExperiment(
+        WorkloadKind::HashTable, RuntimeKind::FlexTmLazy, opt);
+    EXPECT_EQ(r.commits, 100u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.throughput, 0.0);
+}
+
+} // anonymous namespace
+} // namespace flextm
