@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cm_policy.dir/ablation_cm_policy.cc.o"
+  "CMakeFiles/ablation_cm_policy.dir/ablation_cm_policy.cc.o.d"
+  "ablation_cm_policy"
+  "ablation_cm_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cm_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

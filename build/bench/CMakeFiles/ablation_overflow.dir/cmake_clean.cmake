@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overflow.dir/ablation_overflow.cc.o"
+  "CMakeFiles/ablation_overflow.dir/ablation_overflow.cc.o.d"
+  "ablation_overflow"
+  "ablation_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cst_conflicts.dir/fig4_cst_conflicts.cc.o"
+  "CMakeFiles/fig4_cst_conflicts.dir/fig4_cst_conflicts.cc.o.d"
+  "fig4_cst_conflicts"
+  "fig4_cst_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cst_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

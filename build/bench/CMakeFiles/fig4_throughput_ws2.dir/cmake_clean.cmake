@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_throughput_ws2.dir/fig4_throughput_ws2.cc.o"
+  "CMakeFiles/fig4_throughput_ws2.dir/fig4_throughput_ws2.cc.o.d"
+  "fig4_throughput_ws2"
+  "fig4_throughput_ws2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput_ws2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_throughput_ws2.
+# This may be replaced when dependencies are built.

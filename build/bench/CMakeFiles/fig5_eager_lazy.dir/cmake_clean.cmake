@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_eager_lazy.dir/fig5_eager_lazy.cc.o"
+  "CMakeFiles/fig5_eager_lazy.dir/fig5_eager_lazy.cc.o.d"
+  "fig5_eager_lazy"
+  "fig5_eager_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_eager_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

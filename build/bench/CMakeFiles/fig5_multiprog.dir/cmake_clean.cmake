@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_multiprog.dir/fig5_multiprog.cc.o"
+  "CMakeFiles/fig5_multiprog.dir/fig5_multiprog.cc.o.d"
+  "fig5_multiprog"
+  "fig5_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_flexwatcher.dir/table4_flexwatcher.cc.o"
+  "CMakeFiles/table4_flexwatcher.dir/table4_flexwatcher.cc.o.d"
+  "table4_flexwatcher"
+  "table4_flexwatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_flexwatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memwatch.dir/memwatch.cpp.o"
+  "CMakeFiles/memwatch.dir/memwatch.cpp.o.d"
+  "memwatch"
+  "memwatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memwatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_choice.dir/policy_choice.cpp.o"
+  "CMakeFiles/policy_choice.dir/policy_choice.cpp.o.d"
+  "policy_choice"
+  "policy_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

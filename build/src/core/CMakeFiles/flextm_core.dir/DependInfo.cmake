@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cc" "src/core/CMakeFiles/flextm_core.dir/area_model.cc.o" "gcc" "src/core/CMakeFiles/flextm_core.dir/area_model.cc.o.d"
+  "/root/repo/src/core/overflow_table.cc" "src/core/CMakeFiles/flextm_core.dir/overflow_table.cc.o" "gcc" "src/core/CMakeFiles/flextm_core.dir/overflow_table.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/core/CMakeFiles/flextm_core.dir/signature.cc.o" "gcc" "src/core/CMakeFiles/flextm_core.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/flextm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

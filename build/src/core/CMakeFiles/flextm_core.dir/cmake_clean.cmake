@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flextm_core.dir/area_model.cc.o"
+  "CMakeFiles/flextm_core.dir/area_model.cc.o.d"
+  "CMakeFiles/flextm_core.dir/overflow_table.cc.o"
+  "CMakeFiles/flextm_core.dir/overflow_table.cc.o.d"
+  "CMakeFiles/flextm_core.dir/signature.cc.o"
+  "CMakeFiles/flextm_core.dir/signature.cc.o.d"
+  "libflextm_core.a"
+  "libflextm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flextm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flextm_debug.dir/bugbench.cc.o"
+  "CMakeFiles/flextm_debug.dir/bugbench.cc.o.d"
+  "CMakeFiles/flextm_debug.dir/flexwatcher.cc.o"
+  "CMakeFiles/flextm_debug.dir/flexwatcher.cc.o.d"
+  "libflextm_debug.a"
+  "libflextm_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flextm_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/l1_cache.cc" "src/mem/CMakeFiles/flextm_mem.dir/l1_cache.cc.o" "gcc" "src/mem/CMakeFiles/flextm_mem.dir/l1_cache.cc.o.d"
+  "/root/repo/src/mem/l2_cache.cc" "src/mem/CMakeFiles/flextm_mem.dir/l2_cache.cc.o" "gcc" "src/mem/CMakeFiles/flextm_mem.dir/l2_cache.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/flextm_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/flextm_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/protocol.cc" "src/mem/CMakeFiles/flextm_mem.dir/protocol.cc.o" "gcc" "src/mem/CMakeFiles/flextm_mem.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flextm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flextm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flextm_mem.dir/l1_cache.cc.o"
+  "CMakeFiles/flextm_mem.dir/l1_cache.cc.o.d"
+  "CMakeFiles/flextm_mem.dir/l2_cache.cc.o"
+  "CMakeFiles/flextm_mem.dir/l2_cache.cc.o.d"
+  "CMakeFiles/flextm_mem.dir/memory_system.cc.o"
+  "CMakeFiles/flextm_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/flextm_mem.dir/protocol.cc.o"
+  "CMakeFiles/flextm_mem.dir/protocol.cc.o.d"
+  "libflextm_mem.a"
+  "libflextm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flextm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

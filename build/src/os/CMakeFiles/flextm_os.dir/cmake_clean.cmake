@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flextm_os.dir/tx_os.cc.o"
+  "CMakeFiles/flextm_os.dir/tx_os.cc.o.d"
+  "libflextm_os.a"
+  "libflextm_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flextm_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

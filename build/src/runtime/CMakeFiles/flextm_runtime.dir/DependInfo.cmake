@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cgl_runtime.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/cgl_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/cgl_runtime.cc.o.d"
+  "/root/repo/src/runtime/conflict_manager.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/conflict_manager.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/conflict_manager.cc.o.d"
+  "/root/repo/src/runtime/flextm_runtime.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/flextm_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/flextm_runtime.cc.o.d"
+  "/root/repo/src/runtime/machine.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/machine.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/machine.cc.o.d"
+  "/root/repo/src/runtime/rstm_runtime.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/rstm_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/rstm_runtime.cc.o.d"
+  "/root/repo/src/runtime/rtmf_runtime.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/rtmf_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/rtmf_runtime.cc.o.d"
+  "/root/repo/src/runtime/runtime_factory.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/runtime_factory.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/runtime_factory.cc.o.d"
+  "/root/repo/src/runtime/tl2_runtime.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/tl2_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/tl2_runtime.cc.o.d"
+  "/root/repo/src/runtime/tx_thread.cc" "src/runtime/CMakeFiles/flextm_runtime.dir/tx_thread.cc.o" "gcc" "src/runtime/CMakeFiles/flextm_runtime.dir/tx_thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/flextm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/flextm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flextm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

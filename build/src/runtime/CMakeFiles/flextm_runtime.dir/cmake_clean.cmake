@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flextm_runtime.dir/cgl_runtime.cc.o"
+  "CMakeFiles/flextm_runtime.dir/cgl_runtime.cc.o.d"
+  "CMakeFiles/flextm_runtime.dir/conflict_manager.cc.o"
+  "CMakeFiles/flextm_runtime.dir/conflict_manager.cc.o.d"
+  "CMakeFiles/flextm_runtime.dir/flextm_runtime.cc.o"
+  "CMakeFiles/flextm_runtime.dir/flextm_runtime.cc.o.d"
+  "CMakeFiles/flextm_runtime.dir/machine.cc.o"
+  "CMakeFiles/flextm_runtime.dir/machine.cc.o.d"
+  "CMakeFiles/flextm_runtime.dir/rstm_runtime.cc.o"
+  "CMakeFiles/flextm_runtime.dir/rstm_runtime.cc.o.d"
+  "CMakeFiles/flextm_runtime.dir/rtmf_runtime.cc.o"
+  "CMakeFiles/flextm_runtime.dir/rtmf_runtime.cc.o.d"
+  "CMakeFiles/flextm_runtime.dir/runtime_factory.cc.o"
+  "CMakeFiles/flextm_runtime.dir/runtime_factory.cc.o.d"
+  "CMakeFiles/flextm_runtime.dir/tl2_runtime.cc.o"
+  "CMakeFiles/flextm_runtime.dir/tl2_runtime.cc.o.d"
+  "CMakeFiles/flextm_runtime.dir/tx_thread.cc.o"
+  "CMakeFiles/flextm_runtime.dir/tx_thread.cc.o.d"
+  "libflextm_runtime.a"
+  "libflextm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flextm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

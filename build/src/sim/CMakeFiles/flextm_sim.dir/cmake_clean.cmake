@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flextm_sim.dir/logging.cc.o"
+  "CMakeFiles/flextm_sim.dir/logging.cc.o.d"
+  "CMakeFiles/flextm_sim.dir/rng.cc.o"
+  "CMakeFiles/flextm_sim.dir/rng.cc.o.d"
+  "CMakeFiles/flextm_sim.dir/sim_memory.cc.o"
+  "CMakeFiles/flextm_sim.dir/sim_memory.cc.o.d"
+  "CMakeFiles/flextm_sim.dir/stats.cc.o"
+  "CMakeFiles/flextm_sim.dir/stats.cc.o.d"
+  "CMakeFiles/flextm_sim.dir/thread.cc.o"
+  "CMakeFiles/flextm_sim.dir/thread.cc.o.d"
+  "CMakeFiles/flextm_sim.dir/trace.cc.o"
+  "CMakeFiles/flextm_sim.dir/trace.cc.o.d"
+  "libflextm_sim.a"
+  "libflextm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flextm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflextm_sim.a"
+)

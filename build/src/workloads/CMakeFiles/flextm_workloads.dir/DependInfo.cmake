@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/delaunay.cc" "src/workloads/CMakeFiles/flextm_workloads.dir/delaunay.cc.o" "gcc" "src/workloads/CMakeFiles/flextm_workloads.dir/delaunay.cc.o.d"
+  "/root/repo/src/workloads/hash_table.cc" "src/workloads/CMakeFiles/flextm_workloads.dir/hash_table.cc.o" "gcc" "src/workloads/CMakeFiles/flextm_workloads.dir/hash_table.cc.o.d"
+  "/root/repo/src/workloads/lfu_cache.cc" "src/workloads/CMakeFiles/flextm_workloads.dir/lfu_cache.cc.o" "gcc" "src/workloads/CMakeFiles/flextm_workloads.dir/lfu_cache.cc.o.d"
+  "/root/repo/src/workloads/prime.cc" "src/workloads/CMakeFiles/flextm_workloads.dir/prime.cc.o" "gcc" "src/workloads/CMakeFiles/flextm_workloads.dir/prime.cc.o.d"
+  "/root/repo/src/workloads/random_graph.cc" "src/workloads/CMakeFiles/flextm_workloads.dir/random_graph.cc.o" "gcc" "src/workloads/CMakeFiles/flextm_workloads.dir/random_graph.cc.o.d"
+  "/root/repo/src/workloads/rb_tree.cc" "src/workloads/CMakeFiles/flextm_workloads.dir/rb_tree.cc.o" "gcc" "src/workloads/CMakeFiles/flextm_workloads.dir/rb_tree.cc.o.d"
+  "/root/repo/src/workloads/vacation.cc" "src/workloads/CMakeFiles/flextm_workloads.dir/vacation.cc.o" "gcc" "src/workloads/CMakeFiles/flextm_workloads.dir/vacation.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/flextm_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/flextm_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/flextm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flextm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/flextm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flextm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flextm_workloads.dir/delaunay.cc.o"
+  "CMakeFiles/flextm_workloads.dir/delaunay.cc.o.d"
+  "CMakeFiles/flextm_workloads.dir/hash_table.cc.o"
+  "CMakeFiles/flextm_workloads.dir/hash_table.cc.o.d"
+  "CMakeFiles/flextm_workloads.dir/lfu_cache.cc.o"
+  "CMakeFiles/flextm_workloads.dir/lfu_cache.cc.o.d"
+  "CMakeFiles/flextm_workloads.dir/prime.cc.o"
+  "CMakeFiles/flextm_workloads.dir/prime.cc.o.d"
+  "CMakeFiles/flextm_workloads.dir/random_graph.cc.o"
+  "CMakeFiles/flextm_workloads.dir/random_graph.cc.o.d"
+  "CMakeFiles/flextm_workloads.dir/rb_tree.cc.o"
+  "CMakeFiles/flextm_workloads.dir/rb_tree.cc.o.d"
+  "CMakeFiles/flextm_workloads.dir/vacation.cc.o"
+  "CMakeFiles/flextm_workloads.dir/vacation.cc.o.d"
+  "CMakeFiles/flextm_workloads.dir/workload.cc.o"
+  "CMakeFiles/flextm_workloads.dir/workload.cc.o.d"
+  "libflextm_workloads.a"
+  "libflextm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flextm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_fuzz_test.dir/coherence_fuzz_test.cc.o"
+  "CMakeFiles/coherence_fuzz_test.dir/coherence_fuzz_test.cc.o.d"
+  "coherence_fuzz_test"
+  "coherence_fuzz_test.pdb"
+  "coherence_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexwatcher_test.dir/flexwatcher_test.cc.o"
+  "CMakeFiles/flexwatcher_test.dir/flexwatcher_test.cc.o.d"
+  "flexwatcher_test"
+  "flexwatcher_test.pdb"
+  "flexwatcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexwatcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

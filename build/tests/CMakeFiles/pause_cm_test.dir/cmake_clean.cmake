@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pause_cm_test.dir/pause_cm_test.cc.o"
+  "CMakeFiles/pause_cm_test.dir/pause_cm_test.cc.o.d"
+  "pause_cm_test"
+  "pause_cm_test.pdb"
+  "pause_cm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pause_cm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
