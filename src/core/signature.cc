@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace flextm
@@ -54,14 +55,27 @@ Signature::bitIndex(Addr line, unsigned hash) const
 }
 
 void
-Signature::insert(Addr addr)
+Signature::insertLine(Addr line)
 {
-    const Addr line = lineNumber(addr);
     for (unsigned h = 0; h < hashes_; ++h) {
         const unsigned idx = bitIndex(line, h);
         words_[idx / 64] |= std::uint64_t{1} << (idx % 64);
     }
+}
+
+void
+Signature::insert(Addr addr)
+{
+    insertLine(lineNumber(addr));
     ++population_;
+    // Fault injection: additionally hash in a random unrelated line.
+    // Membership tests for that alias now report false positives -
+    // consistently, until clear(), exactly like a real Bloom
+    // collision (per-query coin flips would be an unsound model).
+    if (FaultPlan *fp = FaultPlan::active();
+        fp && fp->fire(FaultKind::SigFalsePositive)) {
+        insertLine(fp->rng().next());
+    }
 }
 
 bool

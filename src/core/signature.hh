@@ -74,6 +74,7 @@ class Signature
     std::uint64_t population_ = 0;
 
     unsigned bitIndex(Addr line, unsigned hash) const;
+    void insertLine(Addr line);
 };
 
 } // namespace flextm

@@ -135,6 +135,30 @@ L1Cache::invalidate(L1Line &line)
     line.aBit = false;
 }
 
+bool
+L1Cache::evictOneInState(LineState s,
+                         const std::function<void(L1Line &)> &evict)
+{
+    L1Line *pick = nullptr;
+    for (auto &l : sets_) {
+        if (l.state == s && (!pick || l.lastUse < pick->lastUse))
+            pick = &l;
+    }
+    auto pickIt = victim_.end();
+    for (auto it = victim_.begin(); it != victim_.end(); ++it) {
+        if (it->state == s && (!pick || it->lastUse < pick->lastUse)) {
+            pick = &*it;
+            pickIt = it;
+        }
+    }
+    if (!pick)
+        return false;
+    evict(*pick);
+    if (pickIt != victim_.end())
+        victim_.erase(pickIt);
+    return true;
+}
+
 void
 L1Cache::flashCommit()
 {

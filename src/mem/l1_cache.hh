@@ -69,6 +69,15 @@ class L1Cache
     /** Drop a specific line (invalidate). */
     void invalidate(L1Line &line);
 
+    /**
+     * Forcibly evict the LRU line currently in state @p s (fault
+     * injection: drive the overflow-table spill path without needing
+     * a giant working set).  The line is passed to @p evict exactly
+     * as in allocate(); returns false when no line is in that state.
+     */
+    bool evictOneInState(LineState s,
+                         const std::function<void(L1Line &)> &evict);
+
     /** Flash commit: TMI->M, TI->I (clear T bits). */
     void flashCommit();
 

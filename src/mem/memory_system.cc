@@ -391,6 +391,22 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
     MemResult res;
     res.latency = cfg_.l1HitLatency;
 
+    // Fault injection: evict a speculative line before the access so
+    // the overflow-table spill/refill path is exercised under load
+    // rather than only by giant working sets.  Only meaningful for
+    // PDI runtimes (an OT or its allocation trap must be present).
+    if (fault_ && ctx.inTx && (ctx.ot || ctx.otAllocTrap) &&
+        fault_->fire(FaultKind::TmiEvict) &&
+        l1.evictOneInState(LineState::TMI,
+                           [this, core, now](L1Line &v) {
+                               evictL1Line(core, v, now);
+                           })) {
+        res.latency += pendingEvictCost_;
+        pendingEvictCost_ = 0;
+        ++stats_.counter("fault.tmi_evictions");
+        FTRACE(Fault, now, "core%u forced TMI eviction", core);
+    }
+
     // FlexWatcher (Section 8): when monitoring is active, local
     // stores test membership in Wsig and local loads in Rsig; a hit
     // alerts to the registered handler.
@@ -550,8 +566,8 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
                                   [this, core, now](L1Line &v) {
                                       evictL1Line(core, v, now);
                                   });
-              line->data = l2l->data;
           }
+          line->data = l2l->data;
           line->state = LineState::M;
           d.clear();
           d.exclusive = core;
@@ -566,8 +582,16 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
                                   [this, core, now](L1Line &v) {
                                       evictL1Line(core, v, now);
                                   });
-              line->data = l2l->data;
+          } else if (line->state == LineState::TI) {
+              ++stats_.counter("pdi.ti_upgrade_refreshes");
           }
+          // Refresh the base image on upgrades too: a TI copy is the
+          // stable version from *install* time and may miss commits
+          // that happened since; publishing it at flash commit would
+          // clobber those words.  dirTransaction has already flushed
+          // any remote M copy, so the L2 line is the freshest stable
+          // data.
+          line->data = l2l->data;
           line->state = LineState::TMI;
           if (d.exclusive == core)
               d.exclusive = invalidCore;
@@ -703,9 +727,28 @@ MemorySystem::aload(CoreId core, Addr addr, Cycles now)
     std::uint8_t dummy[8];
     MemResult r = access(core, AccessType::Load, lineAlign(addr), 8,
                          dummy, now);
-    sim_assert(!r.uncached, "ALoad of a threatened line");
     L1Line *line = l1s_[core]->probe(addr);
-    sim_assert(line && line->valid());
+    if (!line || !line->valid()) {
+        // The plain load was answered uncached because the line is
+        // threatened - possibly only via a signature false positive
+        // against a status word or object header.  ALoad must still
+        // establish a local copy to watch: install the stable L2
+        // version as TI, exactly like a threatened TLoad.
+        Cycles lat = 0;
+        L2Line &l2l = l2FillOrFind(lineAlign(addr), now, lat);
+        r.latency += net_.l1ToL2() + lat;
+        L1Line &fr = l1s_[core]->allocate(
+            addr, now, [this, core, now](L1Line &v) {
+                evictL1Line(core, v, now);
+            });
+        fr.data = l2l.data;
+        fr.state = LineState::TI;
+        l2l.dir.sharers |= bit(core);
+        r.latency += pendingEvictCost_;
+        pendingEvictCost_ = 0;
+        ++stats_.counter("aou.ti_aloads");
+        line = &fr;
+    }
     line->aBit = true;
     contexts_[core].aou.aload(addr);
     return r.latency;

@@ -166,6 +166,9 @@ class MemorySystem
      *  per line).  Exposed for tests and the overflow ablation. */
     Cycles otLatency() const { return otLatency_; }
 
+    /** Attach a fault plan (forced TMI evictions on access). */
+    void setFaultPlan(FaultPlan *p) { fault_ = p; }
+
   private:
     /** Aggregated effects of forwarding one request to all targets. */
     struct ForwardSummary
@@ -204,6 +207,7 @@ class MemorySystem
     StickyCheck stickyCheck_;
     MissHook missHook_;
     Cycles otLatency_;
+    FaultPlan *fault_ = nullptr;
 
     /** Latency accumulated by eviction handlers during the current
      *  operation (writebacks, OT spills); folded into the result. */

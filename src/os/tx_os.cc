@@ -1,5 +1,6 @@
 #include "os/tx_os.hh"
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -228,6 +229,25 @@ TxOs::abortSuspendedOf(TxThread &self, CoreId core)
                 ++m_.stats().counter("os.suspended_aborts");
         }
     }
+}
+
+void
+TxOs::installFaultHook(FlexTmThread &t, FaultPlan &plan)
+{
+    t.setCtxSwitchFaultHook([this, &plan](TxThread &bt) {
+        auto &ft = static_cast<FlexTmThread &>(bt);
+        if (isSuspended(ft))
+            return;
+        ++m_.stats().counter("fault.ctx_switches");
+        FTRACE(Fault, m_.scheduler().now(),
+               "forced context switch of core%u mid-tx", ft.core());
+        suspend(ft);
+        // The thread runs non-transactionally for a while (a "quantum"
+        // of other work), during which running peers hit the summary
+        // signatures.
+        ft.work(200 + plan.rng().nextInt(800u));
+        resume(ft);  // may throw TxAbort
+    });
 }
 
 void

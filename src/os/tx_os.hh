@@ -84,6 +84,15 @@ class TxOs
      */
     void remapPage(Addr old_base, Addr new_base, std::size_t bytes);
 
+    /**
+     * Fault-injection support: arm @p t so that a CtxSwitch fault
+     * fired mid-transaction suspends it, burns a plan-chosen slice
+     * of non-transactional work, and resumes it (which may throw
+     * TxAbort, exercising the Section 5 virtualization paths under
+     * the serializability oracle).
+     */
+    void installFaultHook(FlexTmThread &t, FaultPlan &plan);
+
   private:
     struct Suspended
     {

@@ -23,6 +23,9 @@ CglThread::beginTx()
 bool
 CglThread::commitTx()
 {
+    // Serialization point: still inside the lock, so the stamp order
+    // matches the critical-section order.
+    oracleStamp();
     plainWrite(g_.lockAddr, 0, 8);
     return true;
 }

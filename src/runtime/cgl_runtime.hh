@@ -42,6 +42,8 @@ class CglThread : public TxThread
     void abortCleanup() override;
     std::uint64_t txRead(Addr a, unsigned size) override;
     void txWrite(Addr a, std::uint64_t v, unsigned size) override;
+    /** Lock-based critical sections cannot be aborted. */
+    void injectRemoteAbort() override {}
 
   private:
     CglGlobals &g_;

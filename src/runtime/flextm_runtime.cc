@@ -181,8 +181,10 @@ FlexTmThread::commitTx()
     // The Commit() routine of Figure 3: non-blocking, entirely local.
     for (;;) {
         // 1. copy-and-clear W-R and W-W registers
+        const std::uint64_t wr_enemies = c.cst.wr.copyAndClear();
         const std::uint64_t enemies =
-            c.cst.wr.copyAndClear() | c.cst.ww.copyAndClear();
+            (g_.chaosSkipWrAbort ? 0 : wr_enemies) |
+            c.cst.ww.copyAndClear();
         txConflictMask_ |= enemies;
         charge(1);
 
@@ -206,6 +208,10 @@ FlexTmThread::commitTx()
         CommitResult cr = m_.memsys().casCommit(
             core_, tswAddr_, TswActive, TswCommitted,
             m_.scheduler().now());
+        // The successful CAS-Commit is the serialization point; the
+        // stamp must be taken before the latency charge yields.
+        if (cr.outcome == CommitOutcome::Committed)
+            oracleStamp();
         charge(cr.latency);
 
         switch (cr.outcome) {
@@ -232,6 +238,26 @@ FlexTmThread::commitTx()
             throw TxAbort{};
         }
     }
+}
+
+void
+FlexTmThread::injectSpuriousAlert()
+{
+    // A capacity alert with the TSW still active: the handler must
+    // survive it by re-establishing the watch.
+    ctx().aou.raise(AlertCause::Capacity, tswAddr_);
+    checkAlert();
+}
+
+void
+FlexTmThread::injectRemoteAbort()
+{
+    // Model an enemy's commit-time kill: CAS our TSW to aborted and
+    // deliver the AOU alert, driving the full abort path.
+    ++m_.stats().counter("fault.forced_aborts");
+    casWord(tswAddr_, TswActive, TswAborted, 4);
+    ctx().aou.raise(AlertCause::RemoteUpdate, tswAddr_);
+    checkAlert();  // observes the aborted TSW and throws
 }
 
 void

@@ -56,6 +56,13 @@ struct FlexTmGlobals
     bool cstSelfClean = true;
 
     /**
+     * Deliberate-bug switch for oracle self-tests: commit without
+     * aborting W-R enemies (readers of our write set survive with
+     * stale data).  Never enable outside the harness teeth tests.
+     */
+    bool chaosSkipWrAbort = false;
+
+    /**
      * OS hook (Section 5): when a committing/managing transaction
      * must abort the transactions of processor @p k, the Conflict
      * Management Table may also name *suspended* transactions that
@@ -117,6 +124,8 @@ class FlexTmThread : public TxThread
     void abortCleanup() override;
     std::uint64_t txRead(Addr a, unsigned size) override;
     void txWrite(Addr a, std::uint64_t v, unsigned size) override;
+    void injectSpuriousAlert() override;
+    void injectRemoteAbort() override;
 
   private:
     FlexTmGlobals &g_;

@@ -14,6 +14,18 @@ Machine::Machine(const MachineConfig &cfg)
     }
     memsys_ =
         std::make_unique<MemorySystem>(cfg_, mem_, contexts_, stats_);
+    fault_.configure(cfg_.fault, cfg_.seed);
+    if (fault_.enabled()) {
+        sched_.setFaultPlan(&fault_);
+        memsys_->setFaultPlan(&fault_);
+        FaultPlan::setActive(&fault_);
+    }
+}
+
+Machine::~Machine()
+{
+    if (FaultPlan::active() == &fault_)
+        FaultPlan::setActive(nullptr);
 }
 
 } // namespace flextm

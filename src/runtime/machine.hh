@@ -18,6 +18,7 @@
 #include "core/hw_context.hh"
 #include "mem/memory_system.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/rng.hh"
 #include "sim/sim_memory.hh"
 #include "sim/stats.hh"
@@ -26,11 +27,14 @@
 namespace flextm
 {
 
+class TxOracle;
+
 /** One simulated CMP plus its simulation kernel. */
 class Machine
 {
   public:
     explicit Machine(const MachineConfig &cfg = MachineConfig{});
+    ~Machine();
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -42,6 +46,13 @@ class Machine
     StatRegistry &stats() { return stats_; }
     HwContext &context(CoreId c) { return contexts_[c]; }
     unsigned cores() const { return cfg_.cores; }
+
+    /** The machine's fault plan; null when no faults are configured. */
+    FaultPlan *faultPlan() { return fault_.enabled() ? &fault_ : nullptr; }
+
+    /** Attached serializability oracle (null unless a harness set one). */
+    TxOracle *oracle() { return oracle_; }
+    void setOracle(TxOracle *o) { oracle_ = o; }
 
     /** Deterministic per-purpose seed derivation. */
     std::uint64_t
@@ -68,6 +79,8 @@ class Machine
     std::vector<HwContext> contexts_;
     std::unique_ptr<MemorySystem> memsys_;
     Scheduler sched_;
+    FaultPlan fault_;
+    TxOracle *oracle_ = nullptr;
 };
 
 } // namespace flextm

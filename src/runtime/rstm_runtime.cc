@@ -43,6 +43,14 @@ RstmThread::RstmThread(Machine &m, RstmGlobals &g, ThreadId tid,
     : TxThread(m, tid, core), g_(g)
 {
     tswAddr_ = m_.memory().allocate(lineBytes, lineBytes);
+    // Reserve the clone arena up front, before the workload has made
+    // any allocation: clone buffers are written without transactional
+    // bookkeeping, so they must never share addresses with (possibly
+    // freed and recycled) workload data.
+    clonePool_.reserve(cloneArenaLines);
+    for (unsigned i = 0; i < cloneArenaLines; ++i)
+        clonePool_.push_back(
+            m_.memory().allocate(lineBytes, lineBytes));
 }
 
 RstmThread::~RstmThread() = default;
@@ -51,6 +59,17 @@ std::uint64_t
 RstmThread::headerWordLocked() const
 {
     return (std::uint64_t{core_} << 1) | 1;
+}
+
+Addr
+RstmThread::acquireClone()
+{
+    if (!clonePool_.empty()) {
+        const Addr a = clonePool_.back();
+        clonePool_.pop_back();
+        return a;
+    }
+    return m_.memory().allocate(lineBytes, lineBytes);
 }
 
 void
@@ -169,8 +188,18 @@ RstmThread::txWrite(Addr a, std::uint64_t v, unsigned size)
         for (;;) {
             old = plainRead(header, 8);
             if (isLocked(old)) {
-                if (lockOwner(old) == core_)
-                    break;  // aliased header already ours
+                if (lockOwner(old) == core_) {
+                    // Aliased header already ours: reuse the version
+                    // word captured when it was first acquired, not
+                    // the locked word we just read.
+                    for (const auto &[l, e] : writeSet_) {
+                        if (e.header == header) {
+                            old = e.oldHeader;
+                            break;
+                        }
+                    }
+                    break;
+                }
                 resolveOwner(header);
                 continue;
             }
@@ -179,7 +208,7 @@ RstmThread::txWrite(Addr a, std::uint64_t v, unsigned size)
         }
 
         // Clone the object (the paper's "copying" overhead).
-        const Addr clone = m_.memory().allocate(lineBytes, lineBytes);
+        const Addr clone = acquireClone();
         for (unsigned w = 0; w < lineBytes / 8; ++w) {
             const std::uint64_t word = plainRead(line + 8 * w, 8);
             plainWrite(clone + 8 * w, word, 8);
@@ -196,19 +225,34 @@ RstmThread::txWrite(Addr a, std::uint64_t v, unsigned size)
 void
 RstmThread::releaseWrites(bool committed)
 {
-    for (const auto &[line, e] : writeSet_) {
-        if (committed) {
-            // Install the clone as the new object payload.
+    // Install every clone before releasing any header: a header can
+    // guard several cloned lines (hash aliasing), and releasing it
+    // while one of those lines still has a pending install would let
+    // a competitor acquire it and be overwritten by our stale clone.
+    if (committed) {
+        for (const auto &[line, e] : writeSet_) {
             for (unsigned w = 0; w < lineBytes / 8; ++w) {
                 const std::uint64_t word =
                     plainRead(e.clone + 8 * w, 8);
                 plainWrite(line + 8 * w, word, 8);
             }
-            plainWrite(e.header, e.oldHeader + 2, 8);
-        } else {
-            plainWrite(e.header, e.oldHeader, 8);
         }
-        m_.memory().free(e.clone);
+    }
+    // Release each header exactly once (aliased entries share one).
+    for (auto it = writeSet_.begin(); it != writeSet_.end(); ++it) {
+        bool first = true;
+        for (auto pr = writeSet_.begin(); pr != it; ++pr) {
+            if (pr->second.header == it->second.header) {
+                first = false;
+                break;
+            }
+        }
+        if (first)
+            plainWrite(it->second.header,
+                       committed ? it->second.oldHeader + 2
+                                 : it->second.oldHeader,
+                       8);
+        clonePool_.push_back(it->second.clone);
     }
     writeSet_.clear();
 }
@@ -217,6 +261,11 @@ bool
 RstmThread::commitTx()
 {
     checkStatus();
+    // Serialization point: acquired headers stay locked through
+    // release and the read set is validated from here forward, so
+    // the transaction logically executes at the start of this final
+    // validation.
+    oracleStamp();
     validateReadSet();
     if (!casWord(tswAddr_, TswActive, TswCommitted, 4).success)
         throw TxAbort{};

@@ -78,6 +78,15 @@ class RstmThread : public TxThread
     /** line base -> write entry */
     std::map<Addr, WriteEntry> writeSet_;
 
+    /** Clone buffers come from a thread-private arena reserved at
+     *  construction and are never returned to the shared allocator:
+     *  clone traffic is invisible to transactional bookkeeping, so it
+     *  must not touch addresses workload data can occupy. */
+    static constexpr unsigned cloneArenaLines = 256;
+    std::vector<Addr> clonePool_;
+
+    Addr acquireClone();
+
     void checkStatus();
     /** Wait out / abort the owner of a locked header (Polka). */
     void resolveOwner(Addr header);

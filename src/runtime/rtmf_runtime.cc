@@ -256,13 +256,20 @@ RtmfThread::releaseAll(bool committed)
 bool
 RtmfThread::commitTx()
 {
+    // Drain every pending alert before deciding to commit: a
+    // coalesced header alert left pending here would mean committing
+    // without re-validating the read set.
     checkAlert();
+    while (ctx().aou.alertPending())
+        checkAlert();
     // PDI flash commit via CAS-Commit, without the CST check (RTM-F
     // has no CSTs).
     CommitResult cr = m_.memsys().casCommit(core_, tswAddr_, TswActive,
                                             TswCommitted,
                                             m_.scheduler().now(),
                                             /*check_csts=*/false);
+    if (cr.outcome == CommitOutcome::Committed)
+        oracleStamp();  // serialization point, before charge() yields
     charge(cr.latency);
     if (cr.outcome != CommitOutcome::Committed)
         throw TxAbort{};
@@ -279,6 +286,23 @@ RtmfThread::commitTx()
     g_.tswOf[core_] = 0;
     g_.karma[core_] = 0;
     return true;
+}
+
+void
+RtmfThread::injectSpuriousAlert()
+{
+    // A capacity alert on the TSW: survivable, the handler re-ALoads.
+    ctx().aou.raise(AlertCause::Capacity, tswAddr_);
+    checkAlert();
+}
+
+void
+RtmfThread::injectRemoteAbort()
+{
+    ++m_.stats().counter("fault.forced_aborts");
+    casWord(tswAddr_, TswActive, TswAborted, 4);
+    ctx().aou.raise(AlertCause::RemoteUpdate, tswAddr_);
+    checkAlert();
 }
 
 void

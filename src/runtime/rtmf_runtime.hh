@@ -60,6 +60,8 @@ class RtmfThread : public TxThread
     void abortCleanup() override;
     std::uint64_t txRead(Addr a, unsigned size) override;
     void txWrite(Addr a, std::uint64_t v, unsigned size) override;
+    void injectSpuriousAlert() override;
+    void injectRemoteAbort() override;
 
   private:
     RtmfGlobals &g_;

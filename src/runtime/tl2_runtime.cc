@@ -74,7 +74,17 @@ Tl2Thread::beginTx()
     held_.clear();
     wsFilter_ = 0;
     logSlot_ = 0;
-    rv_ = plainRead(g_.clockAddr, 8);
+    // The read-version sample is the serialization point of read-only
+    // transactions (GV1), so the stamp must be host-atomic with the
+    // clock load: issue the access inline and stamp before the
+    // latency charge yields.  Writers re-stamp at their clock bump.
+    std::uint64_t clk = 0;
+    MemResult r =
+        m_.memsys().access(core_, AccessType::Load, g_.clockAddr, 8,
+                           &clk, m_.scheduler().now());
+    rv_ = clk;
+    oracleStamp();
+    charge(r.latency);
     work(25);  // setjmp register checkpoint
 }
 
@@ -161,14 +171,21 @@ Tl2Thread::commitTx()
         }
     }
 
-    // Bump the global clock.
+    // Bump the global clock.  GV1 clock order is commit order, so
+    // the successful CAS is the serialization point: stamp before
+    // the latency charge can yield to a later-bumping peer.
     std::uint64_t wv;
     for (;;) {
         const std::uint64_t c = plainRead(g_.clockAddr, 8);
-        if (casWord(g_.clockAddr, c, c + 2, 8).success) {
+        CasOutcome o = m_.memsys().cas(core_, g_.clockAddr, c, c + 2,
+                                       8, m_.scheduler().now());
+        if (o.success) {
             wv = c + 2;
+            oracleStamp();
+            charge(o.latency);
             break;
         }
+        charge(o.latency);
     }
 
     // Validate the read set unless nothing moved under us.

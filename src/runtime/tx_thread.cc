@@ -1,6 +1,9 @@
 #include "runtime/tx_thread.hh"
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/oracle.hh"
+#include "sim/trace.hh"
 
 namespace flextm
 {
@@ -77,7 +80,26 @@ TxThread::read(Addr a, unsigned size)
     // Address generation / compare / branch instructions that
     // surround every data access in real code (IPC = 1).
     m_.scheduler().advance(2);
-    return (inTx_ && !paused_) ? txRead(a, size) : plainRead(a, size);
+    if (inTx_ && !paused_) {
+        const std::uint64_t v = txRead(a, size);
+        if (TxOracle *o = m_.oracle())
+            o->recordRead(tid_, a, size, v);
+        maybeInjectFaults();
+        return v;
+    }
+    // Plain path.  When an oracle is recording, the observed value
+    // and its stamp must be taken atomically with the protocol
+    // action - i.e. before the post-access charge, which yields - so
+    // the access is issued inline here rather than via plainRead().
+    // Paused-region reads are not recorded: they may legally observe
+    // the thread's own speculative (TMI) data.
+    std::uint64_t v = 0;
+    MemResult r = m_.memsys().access(core_, AccessType::Load, a, size,
+                                     &v, m_.scheduler().now());
+    if (TxOracle *o = m_.oracle(); o && !inTx_)
+        o->plainRead(tid_, a, size, v);
+    charge(r.latency);
+    return v;
 }
 
 void
@@ -92,9 +114,58 @@ TxThread::write(Addr a, std::uint64_t v, unsigned size)
             nestUndo_.push_back(UndoEntry{a, size, old});
         }
         txWrite(a, v, size);
-    } else {
-        plainWrite(a, v, size);
+        if (TxOracle *o = m_.oracle())
+            o->recordWrite(tid_, a, size, v);
+        maybeInjectFaults();
+        return;
     }
+    std::uint64_t tmp = v;
+    MemResult r = m_.memsys().access(core_, AccessType::Store, a, size,
+                                     &tmp, m_.scheduler().now());
+    if (TxOracle *o = m_.oracle(); o && !inTx_)
+        o->plainWrite(tid_, a, size, v);
+    charge(r.latency);
+}
+
+void
+TxThread::maybeInjectFaults()
+{
+    FaultPlan *fp = m_.faultPlan();
+    if (!fp || !inTx_ || paused_)
+        return;
+    if (fp->fire(FaultKind::SpuriousAlert)) {
+        ++m_.stats().counter("fault.spurious_alerts");
+        FTRACE(Fault, m_.scheduler().now(),
+               "thread %u spurious alert", tid_);
+        injectSpuriousAlert();
+    }
+    if (fp->fire(FaultKind::RemoteAbort)) {
+        FTRACE(Fault, m_.scheduler().now(),
+               "thread %u injected remote abort", tid_);
+        injectRemoteAbort();  // may throw TxAbort
+    }
+    if (ctxSwitchHook_ && fp->fire(FaultKind::CtxSwitch)) {
+        FTRACE(Fault, m_.scheduler().now(),
+               "thread %u forced context switch", tid_);
+        ctxSwitchHook_(*this);  // may throw TxAbort
+    }
+}
+
+void
+TxThread::injectRemoteAbort()
+{
+    // Software runtimes recover through their normal abort path; the
+    // hardware runtimes override this to go through their status
+    // word so the full enemy-abort machinery is exercised.
+    ++m_.stats().counter("fault.forced_aborts");
+    throw TxAbort{};
+}
+
+void
+TxThread::oracleStamp()
+{
+    if (TxOracle *o = m_.oracle())
+        o->stamp(tid_);
 }
 
 bool
@@ -115,6 +186,10 @@ TxThread::txnNested(const std::function<void()> &body)
             const UndoEntry e = nestUndo_.back();
             nestUndo_.pop_back();
             txWrite(e.addr, e.old, e.size);
+            // Compensating writes bypass write(); keep the oracle's
+            // log of this transaction in step.
+            if (TxOracle *o = m_.oracle())
+                o->recordWrite(tid_, e.addr, e.size, e.old);
         }
         nestMarks_.pop_back();
         ++m_.stats().counter("tx.nested_aborts");
@@ -204,7 +279,10 @@ TxThread::txn(const std::function<void()> &body)
     attempt_ = 0;
     for (;;) {
         bool committed = false;
+        TxOracle *oracle = m_.oracle();
         try {
+            if (oracle)
+                oracle->beginTxn(tid_);
             beginTx();
             inTx_ = true;
             body();
@@ -218,6 +296,8 @@ TxThread::txn(const std::function<void()> &body)
             nestMarks_.clear();
         }
         if (committed) {
+            if (oracle)
+                oracle->commitTxn(tid_);
             inTx_ = false;
             nestUndo_.clear();
             nestMarks_.clear();
@@ -228,6 +308,8 @@ TxThread::txn(const std::function<void()> &body)
             ++m_.stats().counter("tx.commits");
             return;
         }
+        if (oracle)
+            oracle->abortTxn(tid_);
         inTx_ = false;
         // Nodes unlinked by the failed attempt stay reachable in the
         // restored state; leaking them is the only safe choice.

@@ -166,6 +166,18 @@ class TxThread
         onAbortYield_ = std::move(f);
     }
 
+    /**
+     * Fault-injection hook: invoked (mid-transaction, from the
+     * access path) when the machine's FaultPlan fires a CtxSwitch
+     * fault.  TxOs::installFaultHook wires this to a real
+     * suspend/resume cycle; it may throw TxAbort.
+     */
+    void
+    setCtxSwitchFaultHook(std::function<void(TxThread &)> f)
+    {
+        ctxSwitchHook_ = std::move(f);
+    }
+
     /** Name of the runtime (for reports). */
     virtual std::string name() const = 0;
 
@@ -194,6 +206,26 @@ class TxThread
     /** Back-off between retries; default randomized exponential. */
     virtual void backoffBeforeRetry();
 
+    /** @name Fault-injection reactions (runtime-specific)
+     *
+     * Called mid-transaction from read()/write() when the machine's
+     * FaultPlan fires.  The spurious alert must be survivable (the
+     * transaction re-establishes its watch and continues); the
+     * remote abort models an enemy killing us and must take the
+     * runtime's real abort path. */
+    /// @{
+    virtual void injectSpuriousAlert() {}
+    virtual void injectRemoteAbort();
+    /// @}
+
+    /** Roll the fault dice after a transactional access. */
+    void maybeInjectFaults();
+
+    /** Record the serialization stamp at the runtime's linearization
+     *  point (no-op when no oracle is attached).  Callers must not
+     *  yield between the linearizing protocol action and this. */
+    void oracleStamp();
+
     /** @name Plain coherent accesses (charge real protocol time) */
     /// @{
     std::uint64_t plainRead(Addr a, unsigned size);
@@ -218,6 +250,7 @@ class TxThread
     std::uint64_t commits_ = 0;
     std::uint64_t aborts_ = 0;
     std::function<void()> onAbortYield_;
+    std::function<void(TxThread &)> ctxSwitchHook_;
     std::vector<Addr> deferredFrees_;
 
     /** Closed-nesting support: software undo log of (addr, size,

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace flextm
@@ -56,6 +57,9 @@ struct MachineConfig
 
     /** Simulated memory image size. */
     std::size_t memoryBytes = 256u << 20;
+
+    /** Fault-injection plan (all off by default). */
+    FaultConfig fault;
 };
 
 } // namespace flextm

@@ -1,0 +1,154 @@
+#include "sim/fault.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+namespace
+{
+
+FaultPlan *activePlan = nullptr;
+
+} // anonymous namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::SigFalsePositive:
+        return "sig-false-positive";
+      case FaultKind::TmiEvict:
+        return "tmi-evict";
+      case FaultKind::CtxSwitch:
+        return "ctx-switch";
+      case FaultKind::SpuriousAlert:
+        return "spurious-alert";
+      case FaultKind::RemoteAbort:
+        return "remote-abort";
+      case FaultKind::Count:
+        break;
+    }
+    return "?";
+}
+
+bool
+FaultConfig::anyEnabled() const
+{
+    return sigFalsePositivePct > 0 || tmiEvictPct > 0 ||
+           ctxSwitchPct > 0 || spuriousAlertPct > 0 ||
+           remoteAbortPct > 0 || schedWindowCycles > 0;
+}
+
+FaultConfig
+FaultConfig::chaos(std::uint64_t seed)
+{
+    FaultConfig cfg;
+    cfg.seed = seed;
+    // Low per-opportunity rates: every access is an opportunity, so
+    // a few percent already lands dozens of faults per run while the
+    // workloads still make forward progress.
+    cfg.sigFalsePositivePct = 4;
+    cfg.tmiEvictPct = 3;
+    cfg.ctxSwitchPct = 1;
+    cfg.spuriousAlertPct = 2;
+    cfg.remoteAbortPct = 1;
+    cfg.schedWindowCycles = 64;
+    return cfg;
+}
+
+void
+FaultPlan::configure(const FaultConfig &cfg, std::uint64_t fallback_seed)
+{
+    cfg_ = cfg;
+    if (cfg_.seed == 0)
+        cfg_.seed = fallback_seed;
+    enabled_ = cfg_.anyEnabled();
+    rng_ = Rng(cfg_.seed * 0x9e3779b97f4a7c15ULL + 0xfa017ULL);
+    fired_.fill(0);
+}
+
+unsigned
+FaultPlan::pctFor(FaultKind k) const
+{
+    switch (k) {
+      case FaultKind::SigFalsePositive:
+        return cfg_.sigFalsePositivePct;
+      case FaultKind::TmiEvict:
+        return cfg_.tmiEvictPct;
+      case FaultKind::CtxSwitch:
+        return cfg_.ctxSwitchPct;
+      case FaultKind::SpuriousAlert:
+        return cfg_.spuriousAlertPct;
+      case FaultKind::RemoteAbort:
+        return cfg_.remoteAbortPct;
+      case FaultKind::Count:
+        break;
+    }
+    return 0;
+}
+
+bool
+FaultPlan::fire(FaultKind k)
+{
+    if (!enabled_)
+        return false;
+    const unsigned pct = pctFor(k);
+    if (pct == 0)
+        return false;
+    if (!rng_.percent(pct))
+        return false;
+    ++fired_[static_cast<std::size_t>(k)];
+    return true;
+}
+
+std::size_t
+FaultPlan::pickIndex(std::size_t n)
+{
+    sim_assert(n > 0);
+    return static_cast<std::size_t>(rng_.nextInt(n));
+}
+
+std::uint64_t
+FaultPlan::fired(FaultKind k) const
+{
+    return fired_[static_cast<std::size_t>(k)];
+}
+
+std::uint64_t
+FaultPlan::totalFired() const
+{
+    std::uint64_t n = 0;
+    for (auto v : fired_)
+        n += v;
+    return n;
+}
+
+FaultPlan *
+FaultPlan::active()
+{
+    return activePlan;
+}
+
+void
+FaultPlan::setActive(FaultPlan *p)
+{
+    activePlan = p;
+}
+
+std::uint64_t
+envFaultSeed(std::uint64_t fallback)
+{
+    const char *env = std::getenv("FLEXTM_FAULT_SEED");
+    if (!env || env[0] == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0')
+        return fallback;
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace flextm

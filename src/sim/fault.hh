@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Seeded fault injection and schedule perturbation.
+ *
+ * FlexTM's correctness story rests on the ugly cases: signature false
+ * positives, speculative lines overflowing the L1, transactions
+ * descheduled mid-flight, remote aborts racing commit.  The seed
+ * tests only reach those paths on the schedules the deterministic
+ * min-clock scheduler happens to produce.  A FaultPlan makes them
+ * systematic: one plan per Machine, driven by its own deterministic
+ * RNG, consulted by the Scheduler (bounded random tie-breaking of the
+ * runnable-thread choice) and by injection points spread through the
+ * signature, cache, OS, and runtime layers.
+ *
+ * Everything is reproducible from the single 64-bit seed recorded in
+ * the plan: re-running the same build with the same seed replays the
+ * same perturbations.  Oracle failure reports print that seed.
+ */
+
+#ifndef FLEXTM_SIM_FAULT_HH
+#define FLEXTM_SIM_FAULT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** The injectable fault classes. */
+enum class FaultKind : unsigned
+{
+    SigFalsePositive,  //!< extra alias line hashed into a signature
+    TmiEvict,          //!< forced eviction of a speculative TMI line
+    CtxSwitch,         //!< forced mid-transaction OS deschedule
+    SpuriousAlert,     //!< AOU alert with no real invalidation
+    RemoteAbort,       //!< enemy-style abort of the running transaction
+    Count
+};
+
+const char *faultKindName(FaultKind k);
+
+/** Per-machine fault-injection knobs (all off by default). */
+struct FaultConfig
+{
+    /** Plan seed; 0 derives one from the machine seed. */
+    std::uint64_t seed = 0;
+
+    /** Per-opportunity firing probabilities, in percent. */
+    unsigned sigFalsePositivePct = 0;
+    unsigned tmiEvictPct = 0;
+    unsigned ctxSwitchPct = 0;
+    unsigned spuriousAlertPct = 0;
+    unsigned remoteAbortPct = 0;
+
+    /**
+     * Scheduler perturbation window: any runnable thread whose clock
+     * is within this many cycles of the minimum may be dispatched
+     * next (0 keeps the deterministic min-clock rule).
+     */
+    Cycles schedWindowCycles = 0;
+
+    bool anyEnabled() const;
+
+    /** A balanced all-faults-on mix for stress sweeps. */
+    static FaultConfig chaos(std::uint64_t seed);
+};
+
+/**
+ * One machine's fault schedule.  Deterministic: all decisions come
+ * from a private RNG seeded once at configure time, so a given
+ * (build, config, seed) triple replays exactly.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    FaultPlan(const FaultPlan &) = delete;
+    FaultPlan &operator=(const FaultPlan &) = delete;
+
+    /** Install @p cfg; a zero cfg.seed falls back to @p fallback_seed. */
+    void configure(const FaultConfig &cfg, std::uint64_t fallback_seed);
+
+    bool enabled() const { return enabled_; }
+    const FaultConfig &config() const { return cfg_; }
+    std::uint64_t seed() const { return cfg_.seed; }
+
+    /** Roll the dice for one injection opportunity of kind @p k. */
+    bool fire(FaultKind k);
+
+    /** Uniform pick in [0, n) for scheduler tie-breaking. */
+    std::size_t pickIndex(std::size_t n);
+
+    /** How often fire() returned true for @p k. */
+    std::uint64_t fired(FaultKind k) const;
+    std::uint64_t totalFired() const;
+
+    Rng &rng() { return rng_; }
+
+    /**
+     * The plan injection points reach from code with no Machine
+     * handle (Signature::insert).  The simulation is single-host-
+     * threaded and one Machine registers at a time, so a process-wide
+     * pointer is safe; it is cleared in ~Machine.
+     */
+    static FaultPlan *active();
+    static void setActive(FaultPlan *p);
+
+  private:
+    FaultConfig cfg_;
+    bool enabled_ = false;
+    Rng rng_;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(FaultKind::Count)>
+        fired_{};
+
+    unsigned pctFor(FaultKind k) const;
+};
+
+/**
+ * FLEXTM_FAULT_SEED environment override for reproducing a failing
+ * sweep member: returns the parsed value, or @p fallback when the
+ * variable is unset or unparsable.
+ */
+std::uint64_t envFaultSeed(std::uint64_t fallback);
+
+} // namespace flextm
+
+#endif // FLEXTM_SIM_FAULT_HH

@@ -1,0 +1,235 @@
+#include "sim/oracle.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace flextm
+{
+
+namespace
+{
+
+std::string
+formatOp(const char *what, ThreadId tid, std::uint64_t stamp, Addr a,
+         unsigned size)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s by thread %u (stamp %llu) at 0x%llx size %u",
+                  what, tid, static_cast<unsigned long long>(stamp),
+                  static_cast<unsigned long long>(a), size);
+    return buf;
+}
+
+} // anonymous namespace
+
+TxOracle::Txn &
+TxOracle::openFor(ThreadId tid)
+{
+    auto it = open_.find(tid);
+    sim_assert(it != open_.end(),
+               "oracle: no open transaction for thread %u", tid);
+    return it->second;
+}
+
+void
+TxOracle::beginTxn(ThreadId tid)
+{
+    Txn &t = open_[tid];
+    t.tid = tid;
+    t.stamp = 0;
+    t.ops.clear();
+}
+
+void
+TxOracle::stamp(ThreadId tid)
+{
+    openFor(tid).stamp = nextStamp_++;
+}
+
+void
+TxOracle::recordRead(ThreadId tid, Addr a, unsigned size,
+                     std::uint64_t v)
+{
+    openFor(tid).ops.push_back(Op{false, a, size, v});
+}
+
+void
+TxOracle::recordWrite(ThreadId tid, Addr a, unsigned size,
+                      std::uint64_t v)
+{
+    openFor(tid).ops.push_back(Op{true, a, size, v});
+}
+
+void
+TxOracle::commitTxn(ThreadId tid)
+{
+    auto it = open_.find(tid);
+    sim_assert(it != open_.end(),
+               "oracle: commit without begin on thread %u", tid);
+    Txn t = std::move(it->second);
+    open_.erase(it);
+    // Runtimes with an audited linearization point stamp explicitly;
+    // anything else serializes here (single-threaded phases).
+    if (t.stamp == 0)
+        t.stamp = nextStamp_++;
+    FTRACE(Oracle, t.stamp, "commit thread %u: %zu ops, stamp %llu",
+           tid, t.ops.size(),
+           static_cast<unsigned long long>(t.stamp));
+    committed_.push_back(std::move(t));
+}
+
+void
+TxOracle::abortTxn(ThreadId tid)
+{
+    auto it = open_.find(tid);
+    if (it == open_.end())
+        return;
+    open_.erase(it);
+    ++aborted_;
+}
+
+void
+TxOracle::plainRead(ThreadId tid, Addr a, unsigned size,
+                    std::uint64_t v)
+{
+    Txn t;
+    t.tid = tid;
+    t.stamp = nextStamp_++;
+    t.ops.push_back(Op{false, a, size, v});
+    committed_.push_back(std::move(t));
+}
+
+void
+TxOracle::plainWrite(ThreadId tid, Addr a, unsigned size,
+                     std::uint64_t v)
+{
+    Txn t;
+    t.tid = tid;
+    t.stamp = nextStamp_++;
+    t.ops.push_back(Op{true, a, size, v});
+    committed_.push_back(std::move(t));
+}
+
+std::string
+TxOracle::historyForByte(Addr addr) const
+{
+    std::vector<const Txn *> order;
+    for (const Txn &t : committed_)
+        order.push_back(&t);
+    std::sort(order.begin(), order.end(),
+              [](const Txn *a, const Txn *b) {
+                  return a->stamp < b->stamp;
+              });
+    std::string out;
+    for (const Txn *t : order) {
+        for (const Op &op : t->ops) {
+            if (addr < op.addr || addr >= op.addr + op.size)
+                continue;
+            char buf[160];
+            std::snprintf(
+                buf, sizeof(buf),
+                "stamp %llu thread %u %s 0x%llx size %u value 0x%llx\n",
+                static_cast<unsigned long long>(t->stamp), t->tid,
+                op.isWrite ? "write" : "read",
+                static_cast<unsigned long long>(op.addr), op.size,
+                static_cast<unsigned long long>(op.value));
+            out += buf;
+        }
+    }
+    return out;
+}
+
+TxOracle::Report
+TxOracle::validate(const PeekFn &peek) const
+{
+    Report rep;
+
+    std::vector<const Txn *> order;
+    order.reserve(committed_.size());
+    for (const Txn &t : committed_)
+        order.push_back(&t);
+    std::sort(order.begin(), order.end(),
+              [](const Txn *a, const Txn *b) {
+                  return a->stamp < b->stamp;
+              });
+
+    auto fail = [&](const std::string &msg) {
+        rep.ok = false;
+        rep.message = context_.empty() ? msg : context_ + ": " + msg;
+    };
+
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        if (order[i]->stamp == order[i - 1]->stamp) {
+            fail("duplicate serialization stamp " +
+                 std::to_string(order[i]->stamp));
+            return rep;
+        }
+    }
+
+    // Sequential replay in stamp order over a sparse byte shadow.
+    // Bytes the history never wrote are seeded from the first read
+    // that touches them: the baseline image does not matter, only
+    // consistency from that point on.
+    std::unordered_map<Addr, std::uint8_t> shadow;
+    shadow.reserve(4096);
+    for (const Txn *t : order) {
+        ++rep.checkedTxns;
+        for (const Op &op : t->ops) {
+            ++rep.checkedOps;
+            std::uint8_t bytes[8];
+            std::memcpy(bytes, &op.value, sizeof(bytes));
+            sim_assert(op.size >= 1 && op.size <= 8);
+            if (op.isWrite) {
+                for (unsigned i = 0; i < op.size; ++i)
+                    shadow[op.addr + i] = bytes[i];
+                continue;
+            }
+            for (unsigned i = 0; i < op.size; ++i) {
+                auto it = shadow.find(op.addr + i);
+                if (it == shadow.end()) {
+                    shadow.emplace(op.addr + i, bytes[i]);
+                    continue;
+                }
+                if (it->second != bytes[i]) {
+                    char det[96];
+                    std::snprintf(
+                        det, sizeof(det),
+                        ": byte %u read 0x%02x, replay expects 0x%02x",
+                        i, bytes[i], it->second);
+                    fail("non-serializable " +
+                         formatOp("read", t->tid, t->stamp, op.addr,
+                                  op.size) +
+                         det);
+                    return rep;
+                }
+            }
+        }
+    }
+
+    // Final-state diff: every byte the replay tracked must match the
+    // machine's real memory after the run.
+    for (const auto &[addr, expect] : shadow) {
+        std::uint8_t actual = 0;
+        peek(addr, &actual, 1);
+        if (actual != expect) {
+            char det[128];
+            std::snprintf(
+                det, sizeof(det),
+                "final state diverges at 0x%llx: memory 0x%02x, "
+                "replay expects 0x%02x",
+                static_cast<unsigned long long>(addr), actual, expect);
+            fail(det);
+            return rep;
+        }
+    }
+
+    return rep;
+}
+
+} // namespace flextm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Serializability oracle for transactional histories.
+ *
+ * The oracle records, per transaction, the logical reads and writes
+ * the workload issued plus a serialization stamp taken by the runtime
+ * at its linearization point (clock CAS for TL2 writers, CAS-Commit
+ * for FlexTM/RTM-F, validation start for RSTM, lock release for CGL,
+ * the read-clock sample for TL2 read-only transactions).  Plain
+ * accesses outside transactions are recorded as singleton committed
+ * operations.
+ *
+ * validate() then replays the committed history sequentially in
+ * stamp order against a sparse byte-granularity shadow memory:
+ *
+ *  - each recorded read must return the value the replay predicts
+ *    (bytes never written in the recorded history seed the shadow on
+ *    first touch, so the pre-existing memory image needs no dump);
+ *  - after the replay, every shadow byte must match the machine's
+ *    actual final memory (MemorySystem::peek).
+ *
+ * Any violation means the committed history is not equivalent to the
+ * sequential execution in commit order - i.e. not serializable in
+ * the order the runtimes claim - and the failure report names the
+ * run context (fault seed, runtime, workload) so it can be replayed.
+ */
+
+#ifndef FLEXTM_SIM_ORACLE_HH
+#define FLEXTM_SIM_ORACLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Records transactional histories and replays them for validation. */
+class TxOracle
+{
+  public:
+    struct Report
+    {
+        bool ok = true;
+        std::string message;
+        std::uint64_t checkedTxns = 0;
+        std::uint64_t checkedOps = 0;
+    };
+
+    /** Prefix for failure messages ("seed=... runtime=... ..."). */
+    void setContext(std::string ctx) { context_ = std::move(ctx); }
+    const std::string &context() const { return context_; }
+
+    /** @name Recording interface (driven by TxThread) */
+    /// @{
+    void beginTxn(ThreadId tid);
+    /** (Re)take the serialization stamp at the linearization point.
+     *  Must be called with no scheduler yield between the linearizing
+     *  protocol action and this call. */
+    void stamp(ThreadId tid);
+    void recordRead(ThreadId tid, Addr a, unsigned size,
+                    std::uint64_t v);
+    void recordWrite(ThreadId tid, Addr a, unsigned size,
+                     std::uint64_t v);
+    void commitTxn(ThreadId tid);
+    void abortTxn(ThreadId tid);
+
+    /** Plain accesses outside any transaction (stamped immediately;
+     *  the caller must not have yielded since the memory access). */
+    void plainRead(ThreadId tid, Addr a, unsigned size,
+                   std::uint64_t v);
+    void plainWrite(ThreadId tid, Addr a, unsigned size,
+                    std::uint64_t v);
+    /// @}
+
+    std::size_t committedCount() const { return committed_.size(); }
+    std::size_t abortedCount() const { return aborted_; }
+
+    /** Reads @p size bytes of final machine memory at an address. */
+    using PeekFn = std::function<void(Addr, void *, unsigned)>;
+
+    /** Sequentially replay the committed history and diff final
+     *  memory state. */
+    Report validate(const PeekFn &peek) const;
+
+    /** Debug aid for failing seeds: every committed op touching the
+     *  byte at @p addr, one line each, in stamp order. */
+    std::string historyForByte(Addr addr) const;
+
+  private:
+    struct Op
+    {
+        bool isWrite;
+        Addr addr;
+        unsigned size;
+        std::uint64_t value;
+    };
+
+    struct Txn
+    {
+        ThreadId tid = 0;
+        std::uint64_t stamp = 0;
+        std::vector<Op> ops;
+    };
+
+    Txn &openFor(ThreadId tid);
+
+    std::uint64_t nextStamp_ = 1;
+    std::map<ThreadId, Txn> open_;
+    std::vector<Txn> committed_;
+    std::size_t aborted_ = 0;
+    std::string context_;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_SIM_ORACLE_HH

@@ -72,8 +72,13 @@ Histogram::percentile(double p) const
 {
     if (samples_.empty())
         return 0;
-    sim_assert(p >= 0.0 && p <= 100.0);
     ensureSorted();
+    // Clamp out-of-range requests: p <= 0 is the minimum sample,
+    // p >= 100 the maximum.
+    if (p <= 0.0)
+        return samples_.front();
+    if (p >= 100.0)
+        return samples_.back();
     const auto idx = static_cast<std::size_t>(
         (p / 100.0) * static_cast<double>(samples_.size() - 1) + 0.5);
     return samples_[std::min(idx, samples_.size() - 1)];

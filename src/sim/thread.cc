@@ -2,13 +2,67 @@
 
 #include <exception>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
+
+// ucontext fibers run on heap-allocated stacks that AddressSanitizer
+// knows nothing about: without explicit fiber-switch annotations its
+// shadow poisoning desynchronizes across swapcontext and it reports
+// spurious stack-use-after-scope on perfectly valid frames.  Announce
+// every switch via the sanitizer fiber API when ASan is enabled.
+#if defined(__SANITIZE_ADDRESS__)
+#define FLEXTM_ASAN_FIBERS
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FLEXTM_ASAN_FIBERS
+#endif
+#endif
+
+#ifdef FLEXTM_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
 
 namespace flextm
 {
 
 namespace
 {
+
+/**
+ * Tell ASan we are about to switch to the fiber stack [bottom, size).
+ * @p save receives the outgoing context's fake-stack handle; pass
+ * nullptr when the outgoing fiber will never run again so its fake
+ * frames are freed.
+ */
+inline void
+fiberSwitchStart(void **save, const void *bottom, std::size_t size)
+{
+#ifdef FLEXTM_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(save, bottom, size);
+#else
+    (void)save;
+    (void)bottom;
+    (void)size;
+#endif
+}
+
+/**
+ * Tell ASan the switch completed: restore this context's fake stack
+ * from @p save (nullptr on a fiber's first entry) and optionally
+ * learn the stack bounds of the context we came from.
+ */
+inline void
+fiberSwitchFinish(void *save, const void **fromBottom,
+                  std::size_t *fromSize)
+{
+#ifdef FLEXTM_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(save, fromBottom, fromSize);
+#else
+    (void)save;
+    (void)fromBottom;
+    (void)fromSize;
+#endif
+}
 
 /**
  * The scheduler whose threads are currently being dispatched.  Only
@@ -39,6 +93,10 @@ SimThread::trampoline()
     Scheduler *sched = activeSched;
     sim_assert(sched != nullptr);
     SimThread &self = sched->current();
+    // First entry onto this fiber's stack: no fake stack to restore,
+    // and the stack we came from is the scheduler's host stack.
+    fiberSwitchFinish(nullptr, &sched->asanMainStackBottom_,
+                      &sched->asanMainStackSize_);
     try {
         self.body_();
     } catch (const std::exception &e) {
@@ -106,7 +164,22 @@ Scheduler::pickNext()
         if (!best || t->clock() < best->clock())
             best = t.get();
     }
-    return best;
+    if (!best || !fault_ || fault_->config().schedWindowCycles == 0)
+        return best;
+
+    // Schedule perturbation: any runnable thread close enough to the
+    // minimum clock may run next.
+    const Cycles limit = best->clock() + fault_->config().schedWindowCycles;
+    std::vector<SimThread *> cands;
+    for (const auto &t : threads_) {
+        if (t->state() == SimThread::State::Runnable &&
+            t->clock() <= limit) {
+            cands.push_back(t.get());
+        }
+    }
+    if (cands.size() <= 1)
+        return best;
+    return cands[fault_->pickIndex(cands.size())];
 }
 
 void
@@ -115,8 +188,11 @@ Scheduler::switchTo(SimThread &t)
     current_ = &t;
     Scheduler *prev = activeSched;
     activeSched = this;
+    fiberSwitchStart(&asanMainFakeStack_, t.stack_.data(),
+                     t.stack_.size());
     if (swapcontext(&mainCtx_, &t.ctx_) != 0)
         panic("swapcontext into thread %u failed", t.id());
+    fiberSwitchFinish(asanMainFakeStack_, nullptr, nullptr);
     activeSched = prev;
     current_ = nullptr;
 }
@@ -143,8 +219,12 @@ void
 Scheduler::yield()
 {
     SimThread &self = current();
+    fiberSwitchStart(&self.asanFakeStack_, asanMainStackBottom_,
+                     asanMainStackSize_);
     if (swapcontext(&self.ctx_, &mainCtx_) != 0)
         panic("swapcontext to scheduler failed");
+    fiberSwitchFinish(self.asanFakeStack_, &asanMainStackBottom_,
+                      &asanMainStackSize_);
 }
 
 void
@@ -175,6 +255,10 @@ Scheduler::threadExit()
 {
     SimThread &self = current();
     self.state_ = SimThread::State::Finished;
+    // nullptr save: this fiber never runs again, so ASan frees its
+    // fake frames instead of keeping them poisoned.
+    fiberSwitchStart(nullptr, asanMainStackBottom_,
+                     asanMainStackSize_);
     if (swapcontext(&self.ctx_, &mainCtx_) != 0)
         panic("swapcontext from finished thread failed");
     panic("finished thread %u was rescheduled", self.id());

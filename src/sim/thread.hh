@@ -24,6 +24,7 @@
 namespace flextm
 {
 
+class FaultPlan;
 class Scheduler;
 
 /** One simulated thread of execution. */
@@ -63,6 +64,9 @@ class SimThread
     std::function<void()> body_;
     ucontext_t ctx_;
     std::vector<std::uint8_t> stack_;
+    /** ASan fake-stack handle while this fiber is switched out
+     *  (sanitizer fiber annotations; unused in plain builds). */
+    void *asanFakeStack_ = nullptr;
 
     static constexpr std::size_t stackBytes = 512 * 1024;
 };
@@ -116,12 +120,29 @@ class Scheduler
     /** Largest clock over all threads (machine finish time). */
     Cycles maxClock() const;
 
+    /**
+     * Attach a fault plan: when its schedule window is nonzero,
+     * pickNext() chooses uniformly among runnable threads within
+     * that many cycles of the minimum clock instead of always taking
+     * the smallest.  Timing perturbs; protocol atomicity does not
+     * (threads still only switch at their yield points).
+     */
+    void setFaultPlan(FaultPlan *p) { fault_ = p; }
+
   private:
     friend class SimThread;
 
     std::vector<std::unique_ptr<SimThread>> threads_;
     SimThread *current_ = nullptr;
+    FaultPlan *fault_ = nullptr;
     ucontext_t mainCtx_;
+    /** ASan fiber bookkeeping for the scheduler's own (host) stack:
+     *  fake-stack handle while a fiber runs, and the host stack bounds
+     *  (learned on the first switch) so fibers can announce switches
+     *  back to it.  Unused in plain builds. */
+    void *asanMainFakeStack_ = nullptr;
+    const void *asanMainStackBottom_ = nullptr;
+    std::size_t asanMainStackSize_ = 0;
 
     SimThread *pickNext();
     void switchTo(SimThread &t);

@@ -27,6 +27,10 @@ name(Category c)
         return "os";
       case Watch:
         return "watch";
+      case Fault:
+        return "fault";
+      case Oracle:
+        return "oracle";
       default:
         return "?";
     }
@@ -63,6 +67,10 @@ parseCategories(const std::string &spec)
             m |= Os;
         else if (tok == "watch")
             m |= Watch;
+        else if (tok == "fault")
+            m |= Fault;
+        else if (tok == "oracle")
+            m |= Oracle;
         pos = comma + 1;
     }
     return m;

@@ -28,6 +28,8 @@ enum Category : unsigned
     Tm = 1u << 1,        //!< transaction begin/commit/abort
     Os = 1u << 2,        //!< suspend/resume/summary traps
     Watch = 1u << 3,     //!< FlexWatcher alerts
+    Fault = 1u << 4,     //!< fault-injection firings
+    Oracle = 1u << 5,    //!< serializability-oracle commits
     All = ~0u
 };
 

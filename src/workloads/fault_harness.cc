@@ -1,0 +1,111 @@
+#include "workloads/fault_harness.hh"
+
+#include <cstdio>
+
+#include "os/tx_os.hh"
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+FaultRunResult
+runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
+                     const FaultRunOptions &opt)
+{
+    sim_assert(opt.threads >= 1);
+    const std::uint64_t seed = envFaultSeed(opt.seed);
+
+    MachineConfig cfg = opt.machine;
+    cfg.seed = seed;
+    if (cfg.cores < opt.threads)
+        cfg.cores = opt.threads;
+    cfg.fault = opt.fault;
+    if (!cfg.fault.anyEnabled() && cfg.fault.schedWindowCycles == 0)
+        cfg.fault = FaultConfig::chaos(seed);
+    else if (cfg.fault.seed == 0)
+        cfg.fault.seed = seed;
+
+    FaultRunResult res;
+    res.seed = seed;
+    res.context = "seed=" + std::to_string(seed) +
+                  " runtime=" + runtimeKindName(rk) +
+                  " workload=" + workloadKindName(wk);
+    // Print the recipe up front so even a crash/assert names it.
+    std::fprintf(stderr, "[fault-harness] %s\n", res.context.c_str());
+
+    Machine m(cfg);
+    TxOracle oracle;
+    oracle.setContext(res.context);
+    m.setOracle(&oracle);
+
+    RuntimeFactory f(m, rk);
+    FlexTmGlobals *g = f.flexGlobals();
+    if (g)
+        g->chaosSkipWrAbort = opt.flexSkipWrAbort;
+    std::unique_ptr<TxOs> os;
+    if (g && opt.installOsFaults && m.faultPlan() != nullptr)
+        os = std::make_unique<TxOs>(m, *g);
+
+    std::unique_ptr<Workload> wl = makeWorkload(wk);
+
+    // Phase 1: single-threaded setup (recorded by the oracle too -
+    // the warm-up transactions are part of the checked history).
+    {
+        auto t0 = f.makeThread(0, 0);
+        Workload *w = wl.get();
+        TxThread *tp = t0.get();
+        m.scheduler().spawn(0, [w, tp] { w->setup(*tp); });
+        m.run();
+    }
+    const Cycles setup_end = m.scheduler().maxClock();
+
+    // Phase 2: parallel run under injection.
+    std::vector<std::unique_ptr<TxThread>> ts;
+    std::uint64_t issued = 0;
+    for (unsigned i = 0; i < opt.threads; ++i) {
+        ts.push_back(f.makeThread(1 + i, i));
+        TxThread *t = ts.back().get();
+        if (os) {
+            if (auto *ft = dynamic_cast<FlexTmThread *>(t))
+                os->installFaultHook(*ft, *m.faultPlan());
+        }
+        Workload *w = wl.get();
+        const unsigned total = opt.totalOps;
+        const ThreadId stid =
+            m.scheduler().spawn(i, [t, w, &issued, total] {
+                while (issued < total) {
+                    ++issued;
+                    w->runOne(*t);
+                }
+            });
+        m.scheduler().thread(stid).syncClock(setup_end);
+    }
+    m.run();
+
+    // Phase 3: single-threaded structural verify (also recorded).
+    if (opt.runVerify) {
+        Workload *w = wl.get();
+        TxThread *tp = ts[0].get();
+        const ThreadId vtid =
+            m.scheduler().spawn(0, [w, tp] { w->verify(*tp); });
+        m.scheduler().thread(vtid).syncClock(m.scheduler().maxClock());
+        m.run();
+    }
+
+    for (const auto &t : ts) {
+        res.commits += t->commits();
+        res.aborts += t->aborts();
+    }
+    if (const FaultPlan *fp = m.faultPlan())
+        res.faultsFired = fp->totalFired();
+    res.otSpills = m.stats().counterValue("ot.spills");
+
+    res.report = oracle.validate([&m](Addr a, void *out, unsigned s) {
+        m.memsys().peek(a, out, s);
+    });
+    if (opt.inspect)
+        opt.inspect(m);
+    return res;
+}
+
+} // namespace flextm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fault-injection + serializability-oracle experiment harness.
+ *
+ * Runs one (workload, runtime) experiment like runExperiment, but
+ * with a seeded FaultPlan perturbing the schedule and firing
+ * injection points (signature false positives, forced TMI
+ * evictions, spurious alerts, forced remote aborts, and - for the
+ * FlexTM runtimes - forced mid-transaction context switches through
+ * TxOs), while a TxOracle records every committed history and
+ * validates it by sequential replay.  Failure reports name the
+ * reproducing seed, so any red run can be replayed exactly with
+ * FLEXTM_FAULT_SEED=<seed>.
+ */
+
+#ifndef FLEXTM_WORKLOADS_FAULT_HARNESS_HH
+#define FLEXTM_WORKLOADS_FAULT_HARNESS_HH
+
+#include <string>
+
+#include "sim/fault.hh"
+#include "sim/oracle.hh"
+#include "workloads/workload.hh"
+
+namespace flextm
+{
+
+/** Options for runFaultedExperiment. */
+struct FaultRunOptions
+{
+    unsigned threads = 4;
+    /** Total timed operations across all threads (kept small: the
+     *  oracle replays every committed operation). */
+    unsigned totalOps = 96;
+    /** Base seed; FLEXTM_FAULT_SEED overrides it when set, so a
+     *  failing run can be replayed from the shell. */
+    std::uint64_t seed = 1;
+    /** Fault mix.  Left default-constructed (nothing enabled), the
+     *  harness substitutes FaultConfig::chaos(seed). */
+    FaultConfig fault{};
+    /** Arm TxOs forced context switches on FlexTM threads. */
+    bool installOsFaults = true;
+    /** Deliberate-bug switch (oracle teeth): commit FlexTM
+     *  transactions without aborting W-R enemies. */
+    bool flexSkipWrAbort = false;
+    /** Run the workload's structural verify phase.  Teeth runs turn
+     *  this off: a deliberately corrupted structure may panic in
+     *  verify before the oracle gets to report the seed. */
+    bool runVerify = true;
+    MachineConfig machine{};
+    /** Observe the machine after the run (counters etc.). */
+    std::function<void(Machine &)> inspect;
+};
+
+/** What one faulted run produced. */
+struct FaultRunResult
+{
+    /** The oracle's verdict; report.message names the seed. */
+    TxOracle::Report report;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    /** Total injection-point firings (all kinds). */
+    std::uint64_t faultsFired = 0;
+    std::uint64_t otSpills = 0;
+    /** The seed actually used (after the env override). */
+    std::uint64_t seed = 0;
+    /** "seed=N runtime=R workload=W" - the reproduction recipe. */
+    std::string context;
+};
+
+/**
+ * Run one faulted experiment: setup phase, parallel phase under
+ * injection, workload verify phase, then oracle validation against
+ * the final simulated-memory state.
+ */
+FaultRunResult runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
+                                    const FaultRunOptions &opt);
+
+} // namespace flextm
+
+#endif // FLEXTM_WORKLOADS_FAULT_HARNESS_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Fault-injection sweeps: every runtime x workload cell runs under a
+ * chaos FaultPlan for several seeds, and every committed history
+ * must pass the serializability oracle.  Failure messages name the
+ * reproducing seed (replayable with FLEXTM_FAULT_SEED=<seed>).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/fault.hh"
+#include "workloads/fault_harness.hh"
+
+using namespace flextm;
+
+namespace
+{
+
+constexpr WorkloadKind kWorkloads[] = {
+    WorkloadKind::HashTable,
+    WorkloadKind::RBTree,
+    WorkloadKind::LFUCache,
+};
+constexpr unsigned kSeedsPerCell = 3;
+
+/** Distinct seeds for every (runtime, workload, k) cell: 54 total
+ *  across the six per-runtime sweep tests below. */
+std::uint64_t
+cellSeed(unsigned rt_index, unsigned wl_index, unsigned k)
+{
+    return 1000 +
+           (std::uint64_t{rt_index} * std::size(kWorkloads) + wl_index) *
+               kSeedsPerCell +
+           k;
+}
+
+void
+sweepRuntime(RuntimeKind rk, unsigned rt_index)
+{
+    std::uint64_t fired = 0;
+    for (unsigned w = 0; w < std::size(kWorkloads); ++w) {
+        for (unsigned k = 0; k < kSeedsPerCell; ++k) {
+            FaultRunOptions opt;
+            opt.seed = cellSeed(rt_index, w, k);
+            opt.threads = 4;
+            opt.totalOps = 96;
+            FaultRunResult r =
+                runFaultedExperiment(kWorkloads[w], rk, opt);
+            ASSERT_TRUE(r.report.ok) << r.report.message;
+            EXPECT_GT(r.commits, 0u) << r.context;
+            EXPECT_GT(r.report.checkedTxns, 0u) << r.context;
+            // The reproduction recipe must name the seed used.
+            EXPECT_NE(r.context.find(
+                          "seed=" + std::to_string(r.seed)),
+                      std::string::npos);
+            fired += r.faultsFired;
+        }
+    }
+    // The chaos plan must actually have perturbed the sweep.
+    EXPECT_GT(fired, 0u) << runtimeKindName(rk);
+}
+
+} // anonymous namespace
+
+TEST(FaultSweep, FlexTmEager) { sweepRuntime(RuntimeKind::FlexTmEager, 0); }
+TEST(FaultSweep, FlexTmLazy) { sweepRuntime(RuntimeKind::FlexTmLazy, 1); }
+TEST(FaultSweep, Cgl) { sweepRuntime(RuntimeKind::Cgl, 2); }
+TEST(FaultSweep, Rstm) { sweepRuntime(RuntimeKind::Rstm, 3); }
+TEST(FaultSweep, Tl2) { sweepRuntime(RuntimeKind::Tl2, 4); }
+TEST(FaultSweep, RtmF) { sweepRuntime(RuntimeKind::RtmF, 5); }
+
+/** Forced TMI evictions must drive the Overflow Table through its
+ *  spill and refill paths - and the history must stay serializable. */
+TEST(FaultInjection, ForcedEvictionsExerciseOverflowTable)
+{
+    FaultRunOptions opt;
+    opt.seed = 4242;
+    opt.threads = 4;
+    opt.totalOps = 96;
+    opt.fault.seed = 4242;
+    opt.fault.tmiEvictPct = 30;
+    opt.fault.schedWindowCycles = 32;
+
+    std::uint64_t evictions = 0, spills = 0, refills = 0;
+    opt.inspect = [&](Machine &m) {
+        evictions = m.stats().counterValue("fault.tmi_evictions");
+        spills = m.stats().counterValue("ot.spills");
+        refills = m.stats().counterValue("ot.refills");
+    };
+    FaultRunResult r = runFaultedExperiment(
+        WorkloadKind::LFUCache, RuntimeKind::FlexTmLazy, opt);
+    EXPECT_TRUE(r.report.ok) << r.report.message;
+    EXPECT_GT(evictions, 0u);
+    EXPECT_GT(spills, 0u);
+    EXPECT_GT(refills, 0u);
+}
+
+/** Same plan + seed replays identically; different seeds diverge. */
+TEST(FaultPlanDeterminism, SameSeedSameDecisions)
+{
+    FaultConfig cfg = FaultConfig::chaos(7);
+    FaultPlan a, b;
+    a.configure(cfg, 1);
+    b.configure(cfg, 1);
+    for (int i = 0; i < 1000; ++i) {
+        const auto k = static_cast<FaultKind>(i % 5);
+        ASSERT_EQ(a.fire(k), b.fire(k));
+        ASSERT_EQ(a.pickIndex(8), b.pickIndex(8));
+    }
+    EXPECT_EQ(a.totalFired(), b.totalFired());
+
+    FaultPlan c;
+    c.configure(FaultConfig::chaos(8), 1);
+    unsigned diverged = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const auto k = static_cast<FaultKind>(i % 5);
+        if (a.fire(k) != c.fire(k))
+            ++diverged;
+    }
+    EXPECT_GT(diverged, 0u);
+}
+
+TEST(FaultPlanDeterminism, HarnessRunsReplayExactly)
+{
+    auto run = [] {
+        FaultRunOptions opt;
+        opt.seed = 1234;
+        opt.threads = 3;
+        opt.totalOps = 48;
+        return runFaultedExperiment(WorkloadKind::HashTable,
+                                    RuntimeKind::FlexTmEager, opt);
+    };
+    FaultRunResult a = run();
+    FaultRunResult b = run();
+    EXPECT_TRUE(a.report.ok) << a.report.message;
+    EXPECT_EQ(a.commits, b.commits);
+    EXPECT_EQ(a.aborts, b.aborts);
+    EXPECT_EQ(a.faultsFired, b.faultsFired);
+    EXPECT_EQ(a.report.checkedTxns, b.report.checkedTxns);
+    EXPECT_EQ(a.report.checkedOps, b.report.checkedOps);
+}
+
+TEST(FaultSeedEnv, OverrideParsesAndFallsBack)
+{
+    unsetenv("FLEXTM_FAULT_SEED");
+    EXPECT_EQ(envFaultSeed(5), 5u);
+    setenv("FLEXTM_FAULT_SEED", "123", 1);
+    EXPECT_EQ(envFaultSeed(5), 123u);
+    setenv("FLEXTM_FAULT_SEED", "botched", 1);
+    EXPECT_EQ(envFaultSeed(5), 5u);
+    setenv("FLEXTM_FAULT_SEED", "12x", 1);
+    EXPECT_EQ(envFaultSeed(5), 5u);
+    unsetenv("FLEXTM_FAULT_SEED");
+}

@@ -215,6 +215,32 @@ TEST(HistogramTest, EmptyIsZero)
     EXPECT_EQ(h.median(), 0u);
     EXPECT_EQ(h.max(), 0u);
     EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    EXPECT_EQ(h.percentile(100.0), 0u);
+}
+
+TEST(HistogramTest, PercentileEdges)
+{
+    Histogram h;
+    for (std::uint64_t v : {5u, 1u, 9u, 3u, 7u})
+        h.add(v);
+    // p = 0 is the minimum, p = 100 the maximum (no off-by-one past
+    // the last sample), out-of-range values clamp.
+    EXPECT_EQ(h.percentile(0.0), 1u);
+    EXPECT_EQ(h.percentile(100.0), 9u);
+    EXPECT_EQ(h.percentile(-3.0), 1u);
+    EXPECT_EQ(h.percentile(250.0), 9u);
+    EXPECT_EQ(h.percentile(50.0), h.median());
+}
+
+TEST(HistogramTest, PercentileSingleSample)
+{
+    Histogram h;
+    h.add(4);
+    EXPECT_EQ(h.percentile(0.0), 4u);
+    EXPECT_EQ(h.percentile(50.0), 4u);
+    EXPECT_EQ(h.percentile(100.0), 4u);
 }
 
 TEST(StatRegistryTest, CountersIndependent)

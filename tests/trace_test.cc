@@ -9,6 +9,7 @@
 #include "os/tx_os.hh"
 #include "runtime/runtime_factory.hh"
 #include "sim/trace.hh"
+#include "workloads/fault_harness.hh"
 
 namespace flextm
 {
@@ -120,6 +121,52 @@ TEST(TraceTest, ConflictResponsesTraced)
                .access(1, AccessType::TStore, a, 8, &v, now)
                .latency;
     EXPECT_GE(cap.count("Threatened"), 1u);
+}
+
+TEST(TraceTest, ParseFaultAndOracleCategories)
+{
+    EXPECT_EQ(trace::parseCategories("fault"), trace::Fault);
+    EXPECT_EQ(trace::parseCategories("oracle"), trace::Oracle);
+    EXPECT_EQ(trace::parseCategories("fault,oracle"),
+              trace::Fault | trace::Oracle);
+    EXPECT_EQ(trace::parseCategories("fault,tm"),
+              trace::Fault | trace::Tm);
+    EXPECT_NE(trace::All & trace::Fault, 0u);
+    EXPECT_NE(trace::All & trace::Oracle, 0u);
+}
+
+TEST(TraceTest, FaultAndOracleSinkRoundTrip)
+{
+    // Category gating + sink capture for the new categories.
+    {
+        TraceCapture cap(trace::Oracle);
+        FTRACE(Fault, 1, "masked-out fault line");
+        FTRACE(Oracle, 2, "oracle ping");
+        EXPECT_EQ(cap.count("masked-out fault line"), 0u);
+        ASSERT_EQ(cap.count("oracle ping"), 1u);
+        EXPECT_NE(cap.lines[0].find("oracle:"), std::string::npos);
+    }
+    {
+        TraceCapture cap(trace::Fault);
+        FTRACE(Fault, 3, "fault ping");
+        ASSERT_EQ(cap.count("fault ping"), 1u);
+        EXPECT_NE(cap.lines[0].find("fault:"), std::string::npos);
+    }
+}
+
+TEST(TraceTest, OracleEventsTracedEndToEnd)
+{
+    // A real faulted run must emit oracle commit lines through the
+    // capture sink.
+    TraceCapture cap(trace::Fault | trace::Oracle);
+    FaultRunOptions opt;
+    opt.seed = 31;
+    opt.threads = 2;
+    opt.totalOps = 24;
+    FaultRunResult r = runFaultedExperiment(
+        WorkloadKind::HashTable, RuntimeKind::FlexTmLazy, opt);
+    EXPECT_TRUE(r.report.ok) << r.report.message;
+    EXPECT_GE(cap.count("oracle:"), 1u);
 }
 
 TEST(TraceTest, OsEventsTraced)
