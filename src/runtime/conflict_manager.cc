@@ -24,13 +24,6 @@ void
 PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
                       const PolkaHooks &hooks, CmPolicy policy)
 {
-    if (policy == CmPolicy::Aggressive) {
-        if (hooks.enemyActive()) {
-            hooks.abortEnemy();
-            ++self.machine().stats().counter("cm.enemy_aborts");
-        }
-        return;
-    }
     if (policy == CmPolicy::Timid) {
         if (hooks.enemyActive()) {
             ++self.machine().stats().counter("cm.self_aborts");
@@ -39,11 +32,31 @@ PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
         return;
     }
 
-    for (unsigned interval = 0;; ++interval) {
+    const unsigned max_patience =
+        self.machine().config().progress.cmMaxPatience;
+    for (unsigned interval = 0;;) {
         if (!hooks.enemyActive())
             return;
         if (hooks.alertCheck)
             hooks.alertCheck();
+
+        // The serial-irrevocable fallback overrides every policy:
+        // an irrevocable enemy may not be aborted; stall (noticing
+        // our own death via alertCheck above) until it drains.
+        if (hooks.enemyIrrevocable && hooks.enemyIrrevocable()) {
+            const unsigned s = interval < 8 ? interval : 8;
+            const Cycles base = Cycles{16} << s;
+            self.work(base / 2 + self.rng().nextInt(base));
+            ++self.machine().stats().counter("cm.irrevocable_stalls");
+            ++interval;
+            continue;
+        }
+
+        if (policy == CmPolicy::Aggressive) {
+            hooks.abortEnemy();
+            ++self.machine().stats().counter("cm.enemy_aborts");
+            return;
+        }
 
         const std::uint64_t enemy_karma = hooks.enemyKarma();
         // Patience proportional to the priority deficit, capped;
@@ -51,7 +64,7 @@ PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
         // degenerate into instant mutual kills.
         const std::uint64_t deficit =
             enemy_karma > my_karma ? enemy_karma - my_karma : 0;
-        unsigned patience = maxPatience;
+        unsigned patience = max_patience;
         if (deficit < patience)
             patience = static_cast<unsigned>(deficit);
         if (patience == 0)
@@ -66,6 +79,7 @@ PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
         const Cycles base = Cycles{16} << interval;
         self.work(base / 2 + self.rng().nextInt(base));
         ++self.machine().stats().counter("cm.backoffs");
+        ++interval;
     }
 }
 

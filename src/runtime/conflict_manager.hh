@@ -41,6 +41,13 @@ struct PolkaHooks
      * other's kill shots.
      */
     std::function<void()> alertCheck;
+    /**
+     * Is the enemy running under the serial-irrevocable fallback?
+     * An irrevocable enemy is never aborted, whatever the policy:
+     * the attacker stalls (re-checking its own status) until the
+     * enemy drains.  Optional; absent means "never".
+     */
+    std::function<bool()> enemyIrrevocable;
 };
 
 /**
@@ -74,9 +81,6 @@ class PolkaManager
     static void resolve(TxThread &self, std::uint64_t my_karma,
                         const PolkaHooks &hooks,
                         CmPolicy policy = CmPolicy::Polka);
-
-    /** Upper bound on back-off intervals before aborting the enemy. */
-    static constexpr unsigned maxPatience = 6;
 };
 
 } // namespace flextm

@@ -73,7 +73,10 @@ FlexTmThread::beginTx()
     c.inTx = true;
 
     g_.tswOf[core_] = tswAddr_;
-    g_.karma[core_] = 0;
+    // Starvation escalation: consecutive aborts carry over as bonus
+    // karma, so a repeatedly-victimized transaction wins Polka
+    // arbitration on its retries.
+    g_.karma[core_] = m_.progress().bonusKarma(tid_);
     txConflictMask_ = 0;
 
     // Register checkpointing: spill of local registers to the stack
@@ -132,15 +135,21 @@ FlexTmThread::handleEagerConflicts(std::uint64_t enemies)
             return g_.karma[k];
         };
         hooks.alertCheck = [this] { checkAlert(); };
+        hooks.enemyIrrevocable = [this, k] {
+            return m_.progress().isIrrevocableCore(k);
+        };
         PolkaManager::resolve(*this, g_.karma[core_], hooks,
                               g_.cmPolicy);
 
-        // Conflict resolved (enemy committed, aborted, or killed):
-        // retire its bits from our CSTs so CAS-Commit can proceed.
-        HwContext &c = ctx();
-        c.cst.rw.clearBit(k);
-        c.cst.wr.clearBit(k);
-        c.cst.ww.clearBit(k);
+        // Do NOT retire k's bits from our CSTs here.  resolve()'s
+        // last enemy-status read yields before returning, so core k
+        // can begin a fresh transaction and conflict with us again in
+        // that window - a clear would erase the commit-time kill
+        // obligation those new bits represent, letting both sides
+        // commit around an unserializable read.  Bits belonging to
+        // the dead transaction are retired by its own
+        // selfCleanRemoteCsts pass; any that linger merely make our
+        // commit's kill CAS hit an already-settled status word.
     });
 }
 
@@ -180,6 +189,25 @@ FlexTmThread::commitTx()
 
     // The Commit() routine of Figure 3: non-blocking, entirely local.
     for (;;) {
+        // Serial-irrevocable fallback: a peer running under the
+        // irrevocability token may not be killed.  Defer - abort
+        // ourselves and retry once the holder drains (we then stall
+        // at the next begin until it commits).  Peek the registers
+        // non-destructively: the throw must happen before the
+        // copy-and-clear below consumes them, or abortCleanup's CST
+        // hygiene pass would miss the reciprocal bits and peers would
+        // keep conflict records against a dead transaction.
+        bool defer = false;
+        ConflictSummaryTable::forEach(c.cst.wr.raw() | c.cst.ww.raw(),
+                                      [&](CoreId k) {
+            if (k != core_ && m_.progress().isIrrevocableCore(k))
+                defer = true;
+        });
+        if (defer) {
+            ++m_.stats().counter("progress.commit_defers");
+            throw TxAbort{};
+        }
+
         // 1. copy-and-clear W-R and W-W registers
         const std::uint64_t wr_enemies = c.cst.wr.copyAndClear();
         const std::uint64_t enemies =

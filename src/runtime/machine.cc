@@ -4,8 +4,10 @@ namespace flextm
 {
 
 Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg), mem_(cfg.memoryBytes)
+    : cfg_(cfg), mem_(cfg.memoryBytes), progress_(cfg.progress, stats_)
 {
+    sched_.setWatchdog(
+        [this](Cycles now) { progress_.watchdogPoll(now); });
     contexts_.reserve(cfg_.cores);
     for (unsigned c = 0; c < cfg_.cores; ++c) {
         contexts_.emplace_back(static_cast<CoreId>(c),

@@ -19,6 +19,7 @@
 #include "mem/memory_system.hh"
 #include "sim/config.hh"
 #include "sim/fault.hh"
+#include "sim/progress.hh"
 #include "sim/rng.hh"
 #include "sim/sim_memory.hh"
 #include "sim/stats.hh"
@@ -28,6 +29,17 @@ namespace flextm
 {
 
 class TxOracle;
+
+/**
+ * Thrown out of TxThread::charge when the machine's run deadline is
+ * exceeded: harnesses that bound a run (livelock regression checks)
+ * set a deadline, catch this in every thread body, and inspect the
+ * partial results.  Unwinding the fibers - instead of abandoning them
+ * mid-flight - lets their stack objects destruct cleanly.
+ */
+struct DeadlineExceeded
+{
+};
 
 /** One simulated CMP plus its simulation kernel. */
 class Machine
@@ -49,6 +61,17 @@ class Machine
 
     /** The machine's fault plan; null when no faults are configured. */
     FaultPlan *faultPlan() { return fault_.enabled() ? &fault_ : nullptr; }
+
+    /** Forward-progress layer (escalation, irrevocability, watchdog). */
+    ProgressManager &progress() { return progress_; }
+
+    /** @name Run deadline
+     *  When nonzero, TxThread::charge throws DeadlineExceeded once a
+     *  thread's clock passes it (0 = unbounded). */
+    /// @{
+    void setDeadline(Cycles d) { deadline_ = d; }
+    Cycles deadline() const { return deadline_; }
+    /// @}
 
     /** Attached serializability oracle (null unless a harness set one). */
     TxOracle *oracle() { return oracle_; }
@@ -80,6 +103,8 @@ class Machine
     std::unique_ptr<MemorySystem> memsys_;
     Scheduler sched_;
     FaultPlan fault_;
+    ProgressManager progress_;
+    Cycles deadline_ = 0;
     TxOracle *oracle_ = nullptr;
 };
 

@@ -79,7 +79,8 @@ RstmThread::beginTx()
     writeSet_.clear();
     plainWrite(tswAddr_, TswActive, 4);
     g_.tswOf[core_] = tswAddr_;
-    g_.karma[core_] = 0;
+    // Starvation escalation: carry consecutive-abort karma forward.
+    g_.karma[core_] = m_.progress().bonusKarma(tid_);
     work(25);  // setjmp register checkpoint
 }
 
@@ -116,6 +117,11 @@ RstmThread::resolveOwner(Addr header)
         return isLocked(w) ? g_.karma[lockOwner(w)] : 0;
     };
     hooks.alertCheck = [this] { checkStatus(); };
+    hooks.enemyIrrevocable = [this, header] {
+        const std::uint64_t w = plainRead(header, 8);
+        return isLocked(w) &&
+               m_.progress().isIrrevocableCore(lockOwner(w));
+    };
     PolkaManager::resolve(*this, g_.karma[core_], hooks);
 }
 

@@ -84,7 +84,8 @@ RtmfThread::beginTx()
     c.inTx = true;
 
     g_.tswOf[core_] = tswAddr_;
-    g_.karma[core_] = 0;
+    // Starvation escalation: carry consecutive-abort karma forward.
+    g_.karma[core_] = m_.progress().bonusKarma(tid_);
     work(25);  // register checkpoint
 }
 
@@ -106,17 +107,20 @@ RtmfThread::checkAlert()
     if (tsw == TswAborted)
         throw TxAbort{};
 
-    if (lineAlign(alert_addr) == lineAlign(tswAddr_)) {
-        if (cause == AlertCause::Capacity) {
-            charge(m_.memsys().aload(core_, tswAddr_,
-                                     m_.scheduler().now()));
-        }
-        return;
+    if (lineAlign(alert_addr) == lineAlign(tswAddr_) &&
+        cause == AlertCause::Capacity) {
+        // The TSW's alert bit was lost to an eviction; re-establish
+        // it.  Do NOT return early: alerts coalesce in hardware (one
+        // pending bit, last address wins), so a header alert may be
+        // hiding behind this one - fall through to the conservative
+        // re-validation below or a doomed read would commit.
+        charge(m_.memsys().aload(core_, tswAddr_,
+                                 m_.scheduler().now()));
     }
 
-    // A monitored object header changed: a writer acquired an object
-    // we read.  Alerts coalesce in hardware (one pending bit), so
-    // conservatively re-validate every watched header: wait out or
+    // A monitored object header may have changed: a writer acquired
+    // an object we read.  Alerts coalesce, so conservatively
+    // re-validate every watched header: wait out or
     // abort live owners, then compare against the observed word - a
     // committed writer leaves a bumped version behind and we must
     // self-abort; an aborted one restores the old word and we live.
@@ -165,6 +169,11 @@ RtmfThread::resolveOwner(Addr header)
         return isLocked(w) ? g_.karma[lockOwner(w)] : 0;
     };
     hooks.alertCheck = [this] { checkAlert(); };
+    hooks.enemyIrrevocable = [this, header] {
+        const std::uint64_t w = plainRead(header, 8);
+        return isLocked(w) &&
+               m_.progress().isIrrevocableCore(lockOwner(w));
+    };
     PolkaManager::resolve(*this, g_.karma[core_], hooks);
 }
 
@@ -174,14 +183,22 @@ RtmfThread::openForRead(Addr a)
     const Addr header = g_.headerFor(a);
     if (readHeaders_.count(header) || acquired_.count(header))
         return;
-    std::uint64_t h = plainRead(header, 8);
-    while (isLocked(h) && lockOwner(h) != core_) {
-        resolveOwner(header);
+    // AOU watch on the header: a remote acquisition alerts us - this
+    // replaces per-access validation entirely.  The watch must go
+    // live BEFORE the header word is sampled: reading first leaves a
+    // window (the read's charge yields) where a writer can acquire
+    // unobserved - the recorded word would be the stale pre-lock
+    // value and the only remaining alert, the writer's release, can
+    // land after this reader has already drained alerts and
+    // CAS-committed a doomed read.
+    std::uint64_t h;
+    for (;;) {
+        charge(m_.memsys().aload(core_, header, m_.scheduler().now()));
         h = plainRead(header, 8);
+        if (!isLocked(h) || lockOwner(h) == core_)
+            break;
+        resolveOwner(header);
     }
-    // AOU watch on the header: a remote acquisition alerts us -
-    // this replaces per-access validation entirely.
-    charge(m_.memsys().aload(core_, header, m_.scheduler().now()));
     readHeaders_.emplace(header, h);
     ++g_.karma[core_];
 }

@@ -163,11 +163,14 @@ Tl2Thread::commitTx()
             } else if (lockOwner(cur) == core_) {
                 break;  // already ours (aliasing stripes)
             }
-            if (++tries > 4) {
+            // Under the serial-irrevocable fallback we must not give
+            // up: competitors stall at begin, so the lock holder is
+            // a draining in-flight transaction - wait it out.
+            if (++tries > 4 && !m_.progress().isIrrevocable(tid_)) {
                 releaseHeld(true, 0);
                 throw TxAbort{};
             }
-            work(16u << tries);
+            work(16u << std::min(tries, 8u));
         }
     }
 

@@ -21,6 +21,8 @@ TxThread::charge(Cycles lat)
 {
     Scheduler &s = m_.scheduler();
     s.advance(lat);
+    if (m_.deadline() != 0 && s.now() > m_.deadline())
+        throw DeadlineExceeded{};
     s.yield();
 }
 
@@ -139,12 +141,17 @@ TxThread::maybeInjectFaults()
                "thread %u spurious alert", tid_);
         injectSpuriousAlert();
     }
-    if (fp->fire(FaultKind::RemoteAbort)) {
+    // An irrevocable transaction models a pinned, unkillable one:
+    // enemies may not abort it and the OS will not deschedule it, so
+    // the enemy-abort and context-switch faults do not apply (they
+    // would void the very guarantee the fallback provides).
+    const bool pinned = m_.progress().isIrrevocable(tid_);
+    if (!pinned && fp->fire(FaultKind::RemoteAbort)) {
         FTRACE(Fault, m_.scheduler().now(),
                "thread %u injected remote abort", tid_);
         injectRemoteAbort();  // may throw TxAbort
     }
-    if (ctxSwitchHook_ && fp->fire(FaultKind::CtxSwitch)) {
+    if (!pinned && ctxSwitchHook_ && fp->fire(FaultKind::CtxSwitch)) {
         FTRACE(Fault, m_.scheduler().now(),
                "thread %u forced context switch", tid_);
         ctxSwitchHook_(*this);  // may throw TxAbort
@@ -266,10 +273,46 @@ TxThread::backoffBeforeRetry()
 {
     // Randomized exponential back-off, capped; matches the Polka
     // back-off flavour used across all runtimes (Section 7.2).
-    const unsigned shift = attempt_ < 10 ? attempt_ : 10;
+    const unsigned cap = m_.config().progress.backoffShiftCap;
+    const unsigned shift = attempt_ < cap ? attempt_ : cap;
     const Cycles base = 32;
     const Cycles window = base << shift;
     work(window / 2 + rng_.nextInt(window));
+}
+
+void
+TxThread::requestIrrevocable()
+{
+    sim_assert(!inTx_, "requestIrrevocable inside a transaction");
+    escalateNext_ = true;
+}
+
+bool
+TxThread::irrevocable() const
+{
+    return m_.progress().isIrrevocable(tid_);
+}
+
+void
+TxThread::awaitTxnSlot()
+{
+    ProgressManager &pm = m_.progress();
+    if (escalateNext_ || pm.shouldEscalate(tid_)) {
+        // Escalated: claim the token, waiting out a current holder.
+        // (Idempotent when we already hold it across a retry.)
+        while (!pm.tryAcquireToken(tid_, core_)) {
+            ++m_.stats().counter("progress.token_waits");
+            work(64 + rng_.nextInt(128u));
+        }
+        escalateNext_ = false;
+        return;
+    }
+    // Someone else is irrevocable: the fallback degrades the machine
+    // to serial execution - stall until the holder drains.
+    while (pm.tokenHeldByOther(tid_)) {
+        ++m_.stats().counter("progress.begin_stalls");
+        work(64 + rng_.nextInt(128u));
+    }
 }
 
 void
@@ -277,12 +320,17 @@ TxThread::txn(const std::function<void()> &body)
 {
     sim_assert(!inTx_, "nested txn() (use subsumption inside body)");
     attempt_ = 0;
+    ProgressManager &pm = m_.progress();
     for (;;) {
+        // Forward-progress gate: claim the irrevocability token when
+        // escalated, or stall while another thread holds it.
+        awaitTxnSlot();
         bool committed = false;
         TxOracle *oracle = m_.oracle();
         try {
             if (oracle)
                 oracle->beginTxn(tid_);
+            pm.txnBegan(tid_, core_, m_.scheduler().now());
             beginTx();
             inTx_ = true;
             body();
@@ -298,6 +346,7 @@ TxThread::txn(const std::function<void()> &body)
         if (committed) {
             if (oracle)
                 oracle->commitTxn(tid_);
+            pm.txnCommitted(tid_, m_.scheduler().now());
             inTx_ = false;
             nestUndo_.clear();
             nestMarks_.clear();
@@ -310,6 +359,7 @@ TxThread::txn(const std::function<void()> &body)
         }
         if (oracle)
             oracle->abortTxn(tid_);
+        pm.txnAborted(tid_);
         inTx_ = false;
         // Nodes unlinked by the failed attempt stay reachable in the
         // restored state; leaking them is the only safe choice.

@@ -129,6 +129,22 @@ class TxThread
     /** True while executing inside txn(). */
     bool inTx() const { return inTx_; }
 
+    /**
+     * Request irrevocability for the next txn(): before its first
+     * attempt the thread acquires the machine-wide irrevocability
+     * token (waiting for a current holder to drain) and keeps it
+     * until that transaction commits.  While it holds the token,
+     * competitors stall at transaction begin and contention managers
+     * never abort it - the serial fallback programmers use for
+     * I/O-like bodies, and the same mechanism starvation escalation
+     * and the livelock watchdog engage automatically.  Must be
+     * called outside a transaction.
+     */
+    void requestIrrevocable();
+
+    /** True while this thread holds the irrevocability token. */
+    bool irrevocable() const;
+
     /** @name Transactional pause / restart (Section 3.5)
      *
      * The paper's programming model supports "transactional pause
@@ -221,6 +237,13 @@ class TxThread
     /** Roll the fault dice after a transactional access. */
     void maybeInjectFaults();
 
+    /**
+     * Forward-progress gate before each attempt: escalated threads
+     * claim the irrevocability token (waiting out a current holder);
+     * everyone else stalls while another thread holds it.
+     */
+    void awaitTxnSlot();
+
     /** Record the serialization stamp at the runtime's linearization
      *  point (no-op when no oracle is attached).  Callers must not
      *  yield between the linearizing protocol action and this. */
@@ -246,6 +269,7 @@ class TxThread
     Rng rng_;
     bool inTx_ = false;
     bool paused_ = false;
+    bool escalateNext_ = false;  //!< requestIrrevocable() pending
     unsigned attempt_ = 0;   //!< retries of the current transaction
     std::uint64_t commits_ = 0;
     std::uint64_t aborts_ = 0;

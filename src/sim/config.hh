@@ -16,6 +16,49 @@
 namespace flextm
 {
 
+/**
+ * Forward-progress policy knobs (conflict management runs in
+ * software, so all of these are runtime policy, not hardware):
+ * starvation escalation, the serial-irrevocable fallback, and the
+ * livelock watchdog, plus the contention-manager tunables that used
+ * to be hard-coded.
+ */
+struct ProgressConfig
+{
+    /** Upper bound on Polka back-off intervals before the attacker
+     *  aborts the enemy (was PolkaManager::maxPatience). */
+    unsigned cmMaxPatience = 6;
+
+    /** Cap on the exponential retry back-off shift between
+     *  transaction attempts (was hard-coded to 10 in TxThread). */
+    unsigned backoffShiftCap = 10;
+
+    /**
+     * Serial-irrevocable fallback: after this many consecutive
+     * aborts of one transaction, the thread acquires the global
+     * irrevocability token and runs to completion while competitors
+     * stall at begin or self-abort against it (0 disables the
+     * abort-count trigger; watchdog escalation still works).
+     */
+    unsigned escalationThreshold = 16;
+
+    /**
+     * Starvation escalation: Polka priority (karma) carried across
+     * retries - each consecutive abort adds this much karma to the
+     * next attempt, so a repeatedly victimized transaction
+     * eventually out-prioritizes its killers (0 disables).
+     */
+    std::uint64_t karmaAbortBoost = 64;
+
+    /**
+     * Livelock watchdog: if no transaction commits system-wide for
+     * this many cycles while at least one transaction is active,
+     * force-escalate the oldest active transaction to irrevocable
+     * and record the trip (0 disables).
+     */
+    Cycles watchdogCycles = 5'000'000;
+};
+
 /** Static description of the simulated CMP. */
 struct MachineConfig
 {
@@ -60,6 +103,9 @@ struct MachineConfig
 
     /** Fault-injection plan (all off by default). */
     FaultConfig fault;
+
+    /** Forward-progress policy (escalation on by default). */
+    ProgressConfig progress;
 };
 
 } // namespace flextm

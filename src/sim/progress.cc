@@ -1,0 +1,178 @@
+#include "sim/progress.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace flextm
+{
+
+const ProgressManager::ThreadProgress *
+ProgressManager::find(ThreadId tid) const
+{
+    auto it = threads_.find(tid);
+    return it == threads_.end() ? nullptr : &it->second;
+}
+
+void
+ProgressManager::txnBegan(ThreadId tid, CoreId core, Cycles now)
+{
+    ThreadProgress &tp = state(tid);
+    if (!tp.active) {
+        tp.active = true;
+        ++activeCount_;
+        tp.txnBegin = now;
+    }
+    tp.core = core;
+    // The watchdog window opens when activity starts, not at cycle 0:
+    // a machine idle since construction must not trip immediately.
+    if (activeCount_ == 1 && lastProgress_ < now &&
+        now - lastProgress_ > cfg_.watchdogCycles) {
+        lastProgress_ = now;
+    }
+}
+
+void
+ProgressManager::txnCommitted(ThreadId tid, Cycles now)
+{
+    ThreadProgress &tp = state(tid);
+    if (tp.active) {
+        tp.active = false;
+        sim_assert(activeCount_ > 0);
+        --activeCount_;
+    }
+    stats_.histogram("progress.aborts_to_commit").add(tp.consecAborts);
+    tp.consecAborts = 0;
+    tp.forceEscalate = false;
+    if (tokenHeld_ && tokenTid_ == tid) {
+        tokenHeld_ = false;
+        tokenTid_ = invalidThread;
+        tokenCore_ = invalidCore;
+        ++stats_.counter("progress.irrevocable_commits");
+    }
+    lastProgress_ = now;
+}
+
+void
+ProgressManager::txnAborted(ThreadId tid)
+{
+    ThreadProgress &tp = state(tid);
+    if (tp.active) {
+        tp.active = false;
+        sim_assert(activeCount_ > 0);
+        --activeCount_;
+    }
+    ++tp.consecAborts;
+    Counter &peak = stats_.counter("progress.max_consec_aborts");
+    if (tp.consecAborts > peak.value)
+        peak.value = tp.consecAborts;
+}
+
+std::uint64_t
+ProgressManager::bonusKarma(ThreadId tid) const
+{
+    const ThreadProgress *tp = find(tid);
+    if (!tp || cfg_.karmaAbortBoost == 0)
+        return 0;
+    return tp->consecAborts * cfg_.karmaAbortBoost;
+}
+
+std::uint64_t
+ProgressManager::consecutiveAborts(ThreadId tid) const
+{
+    const ThreadProgress *tp = find(tid);
+    return tp ? tp->consecAborts : 0;
+}
+
+bool
+ProgressManager::shouldEscalate(ThreadId tid) const
+{
+    if (tokenHeld_ && tokenTid_ == tid)
+        return true;
+    const ThreadProgress *tp = find(tid);
+    if (!tp)
+        return false;
+    if (tp->forceEscalate)
+        return true;
+    return cfg_.escalationThreshold > 0 &&
+           tp->consecAborts >= cfg_.escalationThreshold;
+}
+
+void
+ProgressManager::forceEscalate(ThreadId tid)
+{
+    state(tid).forceEscalate = true;
+}
+
+bool
+ProgressManager::tryAcquireToken(ThreadId tid, CoreId core)
+{
+    if (tokenHeld_ && tokenTid_ != tid)
+        return false;
+    if (!tokenHeld_) {
+        tokenHeld_ = true;
+        ++entries_;
+        ++stats_.counter("progress.irrevocable_entries");
+    }
+    tokenTid_ = tid;
+    tokenCore_ = core;
+    return true;
+}
+
+bool
+ProgressManager::tokenHeldByOther(ThreadId tid) const
+{
+    return tokenHeld_ && tokenTid_ != tid;
+}
+
+bool
+ProgressManager::isIrrevocable(ThreadId tid) const
+{
+    return tokenHeld_ && tokenTid_ == tid;
+}
+
+bool
+ProgressManager::isIrrevocableCore(CoreId c) const
+{
+    return tokenHeld_ && tokenCore_ == c;
+}
+
+void
+ProgressManager::watchdogPoll(Cycles now)
+{
+    if (cfg_.watchdogCycles == 0)
+        return;
+    if (now < lastProgress_ || now - lastProgress_ < cfg_.watchdogCycles)
+        return;
+    if (activeCount_ == 0) {
+        // Quiescent (between transactions everywhere): nothing to
+        // rescue; restart the window.
+        lastProgress_ = now;
+        return;
+    }
+
+    // Trip: no commit for a full window with transactions in flight.
+    // Force-escalate the oldest active transaction - it has invested
+    // the most and, once irrevocable, is guaranteed to drain.
+    ThreadId oldest = invalidThread;
+    Cycles oldest_begin = 0;
+    for (const auto &[tid, tp] : threads_) {
+        if (!tp.active)
+            continue;
+        if (oldest == invalidThread || tp.txnBegin < oldest_begin) {
+            oldest = tid;
+            oldest_begin = tp.txnBegin;
+        }
+    }
+    sim_assert(oldest != invalidThread);
+    ++trips_;
+    ++stats_.counter("progress.watchdog_trips");
+    threads_[oldest].forceEscalate = true;
+    FTRACE(Fault, now,
+           "livelock watchdog trip %llu: escalating thread %u "
+           "(txn began @%llu)",
+           static_cast<unsigned long long>(trips_), oldest,
+           static_cast<unsigned long long>(oldest_begin));
+    lastProgress_ = now;
+}
+
+} // namespace flextm

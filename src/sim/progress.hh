@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Forward-progress bookkeeping: starvation escalation, the global
+ * irrevocability token, and the livelock watchdog.
+ *
+ * FlexTM moves conflict-management *policy* into software
+ * (Section 3.6/7.2), and Polka alone guarantees nothing: a
+ * pathological schedule on a livelock-prone workload (RandomGraph)
+ * can cycle abort/retry forever.  The ProgressManager is the
+ * machine-wide software layer that turns the policy into a
+ * guarantee:
+ *
+ *  - it carries each thread's consecutive-abort count across
+ *    retries and converts it into bonus Polka karma, so a
+ *    repeatedly victimized transaction eventually wins arbitration
+ *    (starvation escalation);
+ *  - after a configurable number of consecutive aborts, a thread
+ *    claims the single machine-wide irrevocability token and runs
+ *    serially to completion - competitors stall at transaction
+ *    begin, and contention managers never abort the token holder -
+ *    giving graceful CGL-like degradation instead of livelock;
+ *  - a watchdog polled from the scheduler dispatch loop trips when
+ *    no transaction commits system-wide within a configured cycle
+ *    window while transactions are active, force-escalates the
+ *    oldest active transaction, and records the event.
+ *
+ * The manager is pure host-side state + stats: all stalling/waiting
+ * loops live in TxThread so this layer stays free of runtime types.
+ */
+
+#ifndef FLEXTM_SIM_PROGRESS_HH
+#define FLEXTM_SIM_PROGRESS_HH
+
+#include <map>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** Machine-wide forward-progress state (one per Machine). */
+class ProgressManager
+{
+  public:
+    ProgressManager(const ProgressConfig &cfg, StatRegistry &stats)
+        : cfg_(cfg), stats_(stats)
+    {
+    }
+
+    ProgressManager(const ProgressManager &) = delete;
+    ProgressManager &operator=(const ProgressManager &) = delete;
+
+    const ProgressConfig &config() const { return cfg_; }
+
+    /** @name Per-transaction lifecycle (driven by TxThread::txn) */
+    /// @{
+    void txnBegan(ThreadId tid, CoreId core, Cycles now);
+    /** Commit: release the token if held, record the aborts-to-commit
+     *  sample, and feed the watchdog. */
+    void txnCommitted(ThreadId tid, Cycles now);
+    void txnAborted(ThreadId tid);
+    /// @}
+
+    /** @name Starvation escalation */
+    /// @{
+    /** Karma bonus for the thread's next attempt (consecutive aborts
+     *  x karmaAbortBoost). */
+    std::uint64_t bonusKarma(ThreadId tid) const;
+    std::uint64_t consecutiveAborts(ThreadId tid) const;
+    /** True when the thread must enter (or already owns) the
+     *  irrevocable fallback before its next attempt. */
+    bool shouldEscalate(ThreadId tid) const;
+    /** Mark a thread for escalation at its next retry (watchdog and
+     *  programmer-requested irrevocability both land here). */
+    void forceEscalate(ThreadId tid);
+    /// @}
+
+    /** @name Irrevocability token */
+    /// @{
+    /** Claim the token for @p tid (idempotent for the holder).
+     *  Returns false while another thread holds it. */
+    bool tryAcquireToken(ThreadId tid, CoreId core);
+    /** True when a thread other than @p tid holds the token. */
+    bool tokenHeldByOther(ThreadId tid) const;
+    bool isIrrevocable(ThreadId tid) const;
+    /** True when the running transaction of core @p c is the token
+     *  holder (contention managers identify enemies by core). */
+    bool isIrrevocableCore(CoreId c) const;
+    /// @}
+
+    /** Watchdog poll, called from the scheduler dispatch loop; cheap
+     *  (one compare) unless the window has expired. */
+    void watchdogPoll(Cycles now);
+
+    std::uint64_t watchdogTrips() const { return trips_; }
+    std::uint64_t irrevocableEntries() const { return entries_; }
+
+  private:
+    struct ThreadProgress
+    {
+        std::uint64_t consecAborts = 0;
+        bool forceEscalate = false;
+        bool active = false;        //!< inside beginTx..commit/abort
+        Cycles txnBegin = 0;
+        CoreId core = invalidCore;
+    };
+
+    const ProgressConfig cfg_;
+    StatRegistry &stats_;
+    std::map<ThreadId, ThreadProgress> threads_;
+
+    bool tokenHeld_ = false;
+    ThreadId tokenTid_ = invalidThread;
+    CoreId tokenCore_ = invalidCore;
+
+    /** Cycle of the last system-wide commit (or trip). */
+    Cycles lastProgress_ = 0;
+    std::uint64_t trips_ = 0;
+    std::uint64_t entries_ = 0;
+    unsigned activeCount_ = 0;
+
+    ThreadProgress &state(ThreadId tid) { return threads_[tid]; }
+    const ThreadProgress *find(ThreadId tid) const;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_SIM_PROGRESS_HH

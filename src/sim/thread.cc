@@ -211,6 +211,8 @@ Scheduler::run(const std::function<bool()> &stop)
         SimThread *next = pickNext();
         if (!next)
             break;
+        if (watchdog_)
+            watchdog_(next->clock());
         switchTo(*next);
     }
 }

@@ -129,12 +129,23 @@ class Scheduler
      */
     void setFaultPlan(FaultPlan *p) { fault_ = p; }
 
+    /**
+     * Attach a watchdog polled with the dispatched thread's clock on
+     * every dispatch (the machine wires this to the livelock
+     * watchdog).  Must be cheap: it runs once per yield.
+     */
+    void setWatchdog(std::function<void(Cycles)> w)
+    {
+        watchdog_ = std::move(w);
+    }
+
   private:
     friend class SimThread;
 
     std::vector<std::unique_ptr<SimThread>> threads_;
     SimThread *current_ = nullptr;
     FaultPlan *fault_ = nullptr;
+    std::function<void(Cycles)> watchdog_;
     ucontext_t mainCtx_;
     /** ASan fiber bookkeeping for the scheduler's own (host) stack:
      *  fake-stack handle while a fiber runs, and the host stack bounds

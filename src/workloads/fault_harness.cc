@@ -1,6 +1,7 @@
 #include "workloads/fault_harness.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "os/tx_os.hh"
 #include "sim/logging.hh"
@@ -40,13 +41,29 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
 
     RuntimeFactory f(m, rk);
     FlexTmGlobals *g = f.flexGlobals();
-    if (g)
+    if (g) {
         g->chaosSkipWrAbort = opt.flexSkipWrAbort;
+        g->cmPolicy = opt.cmPolicy;
+    }
     std::unique_ptr<TxOs> os;
     if (g && opt.installOsFaults && m.faultPlan() != nullptr)
         os = std::make_unique<TxOs>(m, *g);
 
     std::unique_ptr<Workload> wl = makeWorkload(wk);
+
+    // Create every thread before the workload allocates anything:
+    // per-thread runtime metadata (status words, clone arenas) is
+    // written without transactional bookkeeping, so it must never
+    // land on workload lines recycled through the allocator - the
+    // oracle's replay still tracks those bytes.
+    std::vector<std::unique_ptr<TxThread>> ts;
+    for (unsigned i = 0; i < opt.threads; ++i) {
+        ts.push_back(f.makeThread(1 + i, i));
+        if (os) {
+            if (auto *ft = dynamic_cast<FlexTmThread *>(ts.back().get()))
+                os->installFaultHook(*ft, *m.faultPlan());
+        }
+    }
 
     // Phase 1: single-threaded setup (recorded by the oracle too -
     // the warm-up transactions are part of the checked history).
@@ -59,31 +76,47 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
     }
     const Cycles setup_end = m.scheduler().maxClock();
 
-    // Phase 2: parallel run under injection.
-    std::vector<std::unique_ptr<TxThread>> ts;
+    // Phase 2: parallel run under injection.  With a maxCycles
+    // bound, every thread unwinds via DeadlineExceeded (thrown out
+    // of TxThread::charge) once the bound passes - the fibers exit
+    // cleanly instead of being abandoned mid-transaction.
+    if (opt.maxCycles != 0)
+        m.setDeadline(setup_end + opt.maxCycles);
     std::uint64_t issued = 0;
+    bool timed_out = false;
     for (unsigned i = 0; i < opt.threads; ++i) {
-        ts.push_back(f.makeThread(1 + i, i));
-        TxThread *t = ts.back().get();
-        if (os) {
-            if (auto *ft = dynamic_cast<FlexTmThread *>(t))
-                os->installFaultHook(*ft, *m.faultPlan());
-        }
+        TxThread *t = ts[i].get();
         Workload *w = wl.get();
         const unsigned total = opt.totalOps;
-        const ThreadId stid =
-            m.scheduler().spawn(i, [t, w, &issued, total] {
-                while (issued < total) {
-                    ++issued;
-                    w->runOne(*t);
+        const unsigned irr_n = opt.irrevocableEveryN;
+        const ThreadId stid = m.scheduler().spawn(
+            i, [t, w, &issued, &timed_out, total, irr_n] {
+                try {
+                    unsigned my_ops = 0;
+                    while (issued < total) {
+                        ++issued;
+                        if (irr_n != 0 && ++my_ops % irr_n == 0)
+                            t->requestIrrevocable();
+                        w->runOne(*t);
+                    }
+                } catch (const DeadlineExceeded &) {
+                    timed_out = true;
                 }
             });
         m.scheduler().thread(stid).syncClock(setup_end);
     }
     m.run();
+    m.setDeadline(0);
+    res.cycles = m.scheduler().maxClock() - setup_end;
+    res.timedOut = timed_out;
+    res.irrevocableEntries = m.progress().irrevocableEntries();
+    res.watchdogTrips = m.progress().watchdogTrips();
 
     // Phase 3: single-threaded structural verify (also recorded).
-    if (opt.runVerify) {
+    // Skipped on timeout: threads were torn down mid-transaction, so
+    // the structure (and the oracle's history) is legitimately
+    // incomplete.
+    if (opt.runVerify && !timed_out) {
         Workload *w = wl.get();
         TxThread *tp = ts[0].get();
         const ThreadId vtid =
@@ -100,9 +133,26 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
         res.faultsFired = fp->totalFired();
     res.otSpills = m.stats().counterValue("ot.spills");
 
-    res.report = oracle.validate([&m](Addr a, void *out, unsigned s) {
-        m.memsys().peek(a, out, s);
-    });
+    if (timed_out) {
+        // The committed prefix is still well-formed, but in-flight
+        // transactions were unwound without their runtime cleanup;
+        // replay against final memory would be meaningless.
+        res.report.ok = false;
+        res.report.message = "timed out after " +
+                             std::to_string(res.cycles) +
+                             " cycles (" + res.context + ")";
+    } else {
+        res.report =
+            oracle.validate([&m](Addr a, void *out, unsigned s) {
+                m.memsys().peek(a, out, s);
+            });
+        if (const char *dump = std::getenv("FLEXTM_DUMP_BYTE")) {
+            const Addr a = std::strtoull(dump, nullptr, 0);
+            std::fprintf(stderr, "history for 0x%llx:\n%s",
+                         (unsigned long long)a,
+                         oracle.historyForByte(a).c_str());
+        }
+    }
     if (opt.inspect)
         opt.inspect(m);
     return res;

@@ -47,6 +47,23 @@ struct FaultRunOptions
      *  this off: a deliberately corrupted structure may panic in
      *  verify before the oracle gets to report the seed. */
     bool runVerify = true;
+    /** Eager-mode conflict-management policy (FlexTM runtimes). */
+    CmPolicy cmPolicy = CmPolicy::Polka;
+    /**
+     * Every Nth operation of each thread requests irrevocability
+     * for its next transaction (0 disables) - exercises the serial
+     * fallback on runtimes that rarely escalate organically (CGL
+     * never aborts, so it never trips the threshold).
+     */
+    unsigned irrevocableEveryN = 0;
+    /**
+     * Abandon the parallel phase once it has run this many cycles
+     * past setup (0 = no bound).  On expiry every thread unwinds via
+     * DeadlineExceeded, the verify phase and oracle validation are
+     * skipped, and the result reports timedOut - the livelock
+     * regression bound.
+     */
+    Cycles maxCycles = 0;
     MachineConfig machine{};
     /** Observe the machine after the run (counters etc.). */
     std::function<void(Machine &)> inspect;
@@ -66,6 +83,14 @@ struct FaultRunResult
     std::uint64_t seed = 0;
     /** "seed=N runtime=R workload=W" - the reproduction recipe. */
     std::string context;
+    /** Parallel-phase duration in cycles. */
+    Cycles cycles = 0;
+    /** The maxCycles bound expired before all operations finished. */
+    bool timedOut = false;
+    /** Times the irrevocability token was claimed. */
+    std::uint64_t irrevocableEntries = 0;
+    /** Livelock-watchdog trips. */
+    std::uint64_t watchdogTrips = 0;
 };
 
 /**

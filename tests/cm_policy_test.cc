@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for PolkaManager::resolve driven through synthetic
+ * hooks: the Aggressive and Timid extreme points, Polka's
+ * deficit-proportional patience, the configurable patience cap, and
+ * the serial-irrevocable override that outranks every policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/conflict_manager.hh"
+#include "runtime/tx_thread.hh"
+
+namespace flextm
+{
+namespace
+{
+
+/** Minimal concrete TxThread: resolve() only needs machine(), rng()
+ *  and work(), never the transaction machinery. */
+class StubThread : public TxThread
+{
+  public:
+    using TxThread::TxThread;
+    std::string name() const override { return "Stub"; }
+
+  protected:
+    void beginTx() override {}
+    bool commitTx() override { return true; }
+    void abortCleanup() override {}
+    std::uint64_t txRead(Addr, unsigned) override { return 0; }
+    void txWrite(Addr, std::uint64_t, unsigned) override {}
+};
+
+MachineConfig
+smallCfg()
+{
+    MachineConfig c;
+    c.cores = 2;
+    c.memoryBytes = 16u << 20;
+    return c;
+}
+
+/** One machine + stub thread; resolve() charges cycles (which
+ *  yields), so every call runs on a scheduler fiber. */
+struct Rig
+{
+    Machine m;
+    StubThread t;
+
+    explicit Rig(const MachineConfig &cfg = smallCfg())
+        : m(cfg), t(m, 0, 0)
+    {
+    }
+
+    void
+    resolveOn(std::uint64_t my_karma, const PolkaHooks &hooks,
+              CmPolicy policy, bool *threw = nullptr)
+    {
+        m.scheduler().spawn(0, [this, my_karma, &hooks, policy,
+                                threw] {
+            try {
+                PolkaManager::resolve(t, my_karma, hooks, policy);
+            } catch (const TxAbort &) {
+                if (threw)
+                    *threw = true;
+            }
+        });
+        m.run();
+    }
+
+    std::uint64_t
+    count(const char *name)
+    {
+        return m.stats().counterValue(name);
+    }
+};
+
+TEST(AggressivePolicy, KillsTheEnemyImmediately)
+{
+    Rig r;
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h;
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+    h.enemyKarma = [&] { return std::uint64_t{999}; };
+
+    r.resolveOn(0, h, CmPolicy::Aggressive);
+    EXPECT_EQ(kills, 1u);
+    EXPECT_EQ(r.count("cm.enemy_aborts"), 1u);
+    EXPECT_EQ(r.count("cm.backoffs"), 0u);
+}
+
+TEST(AggressivePolicy, NoKillWhenEnemyAlreadyGone)
+{
+    Rig r;
+    unsigned kills = 0;
+    PolkaHooks h;
+    h.enemyActive = [&] { return false; };
+    h.abortEnemy = [&] { ++kills; };
+    h.enemyKarma = [&] { return std::uint64_t{0}; };
+
+    r.resolveOn(0, h, CmPolicy::Aggressive);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_EQ(r.count("cm.enemy_aborts"), 0u);
+}
+
+TEST(TimidPolicy, SelfAbortsOnConflict)
+{
+    Rig r;
+    unsigned kills = 0;
+    bool threw = false;
+    PolkaHooks h;
+    h.enemyActive = [&] { return true; };
+    h.abortEnemy = [&] { ++kills; };
+    h.enemyKarma = [&] { return std::uint64_t{0}; };
+
+    r.resolveOn(100, h, CmPolicy::Timid, &threw);
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_EQ(r.count("cm.self_aborts"), 1u);
+}
+
+TEST(TimidPolicy, NoConflictNoAbort)
+{
+    Rig r;
+    bool threw = false;
+    PolkaHooks h;
+    h.enemyActive = [&] { return false; };
+    h.abortEnemy = [&] { FAIL() << "abortEnemy on a gone enemy"; };
+    h.enemyKarma = [&] { return std::uint64_t{0}; };
+
+    r.resolveOn(0, h, CmPolicy::Timid, &threw);
+    EXPECT_FALSE(threw);
+    EXPECT_EQ(r.count("cm.self_aborts"), 0u);
+}
+
+TEST(PolkaPolicy, NoKarmaDeficitMeansMinimalPatience)
+{
+    Rig r;
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h;
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+    h.enemyKarma = [&] { return std::uint64_t{0}; };
+
+    // Attacker outranks the enemy: patience clamps to one interval.
+    r.resolveOn(100, h, CmPolicy::Polka);
+    EXPECT_EQ(kills, 1u);
+    EXPECT_EQ(r.count("cm.backoffs"), 1u);
+}
+
+TEST(PolkaPolicy, LargeDeficitWaitsFullPatience)
+{
+    Rig r;
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h;
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+    h.enemyKarma = [&] { return std::uint64_t{1'000'000}; };
+
+    r.resolveOn(0, h, CmPolicy::Polka);
+    EXPECT_EQ(kills, 1u);
+    // The deficit is astronomical: patience caps at the configured
+    // maximum (default ProgressConfig::cmMaxPatience).
+    EXPECT_EQ(r.count("cm.backoffs"),
+              ProgressConfig{}.cmMaxPatience);
+}
+
+TEST(PolkaPolicy, ConfiguredMaxPatienceIsHonored)
+{
+    MachineConfig cfg = smallCfg();
+    cfg.progress.cmMaxPatience = 2;
+    Rig r(cfg);
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h;
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+    h.enemyKarma = [&] { return std::uint64_t{1'000'000}; };
+
+    r.resolveOn(0, h, CmPolicy::Polka);
+    EXPECT_EQ(kills, 1u);
+    EXPECT_EQ(r.count("cm.backoffs"), 2u);
+}
+
+TEST(PolkaPolicy, ReturnsWithoutKillWhenEnemyDrains)
+{
+    Rig r;
+    unsigned active_checks = 0;
+    unsigned kills = 0;
+    PolkaHooks h;
+    // The enemy commits on its own after two back-off intervals.
+    h.enemyActive = [&] { return ++active_checks <= 2; };
+    h.abortEnemy = [&] { ++kills; };
+    h.enemyKarma = [&] { return std::uint64_t{1'000'000}; };
+
+    r.resolveOn(0, h, CmPolicy::Polka);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_EQ(r.count("cm.enemy_aborts"), 0u);
+    EXPECT_EQ(r.count("cm.backoffs"), 2u);
+}
+
+TEST(IrrevocableOverride, EnemySurvivesAggressive)
+{
+    Rig r;
+    unsigned irr_checks = 0;
+    unsigned kills = 0;
+    PolkaHooks h;
+    // Irrevocable enemy drains (commits) after three stall rounds.
+    h.enemyActive = [&] { return irr_checks < 3; };
+    h.abortEnemy = [&] { ++kills; };
+    h.enemyKarma = [&] { return std::uint64_t{0}; };
+    h.enemyIrrevocable = [&] {
+        ++irr_checks;
+        return true;
+    };
+
+    r.resolveOn(1'000'000, h, CmPolicy::Aggressive);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_EQ(r.count("cm.enemy_aborts"), 0u);
+    EXPECT_EQ(r.count("cm.irrevocable_stalls"), 3u);
+}
+
+TEST(IrrevocableOverride, EnemySurvivesPolka)
+{
+    Rig r;
+    unsigned irr_checks = 0;
+    unsigned kills = 0;
+    PolkaHooks h;
+    h.enemyActive = [&] { return irr_checks < 5; };
+    h.abortEnemy = [&] { ++kills; };
+    h.enemyKarma = [&] { return std::uint64_t{0}; };
+    h.enemyIrrevocable = [&] {
+        ++irr_checks;
+        return true;
+    };
+
+    // Even a maximal-karma attacker may not touch the token holder.
+    r.resolveOn(1'000'000, h, CmPolicy::Polka);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_EQ(r.count("cm.irrevocable_stalls"), 5u);
+}
+
+TEST(IrrevocableOverride, StalledAttackerNoticesOwnDeath)
+{
+    Rig r;
+    unsigned alert_calls = 0;
+    unsigned kills = 0;
+    bool threw = false;
+    PolkaHooks h;
+    h.enemyActive = [&] { return true; };
+    h.abortEnemy = [&] { ++kills; };
+    h.enemyKarma = [&] { return std::uint64_t{0}; };
+    h.enemyIrrevocable = [&] { return true; };
+    // The attacker is killed while stalling: the alert check fires
+    // on its second round and the stall must unwind via TxAbort.
+    h.alertCheck = [&] {
+        if (++alert_calls == 2)
+            throw TxAbort{};
+    };
+
+    r.resolveOn(0, h, CmPolicy::Polka, &threw);
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_EQ(alert_calls, 2u);
+}
+
+} // anonymous namespace
+} // namespace flextm

@@ -142,6 +142,38 @@ TEST(GeometryBehaviour, TinyL1SpillsToOverflowTable)
     }
 }
 
+/** The promoted forward-progress knobs (Polka patience cap, retry
+ *  back-off shift cap) change only performance, never results. */
+TEST(ProgressKnobs, CmMaxPatienceSweep)
+{
+    for (unsigned patience : {1u, 2u, 6u, 16u}) {
+        ExperimentOptions o;
+        o.threads = 4;
+        o.totalOps = 200;
+        o.machine.cores = 8;
+        o.machine.memoryBytes = 64u << 20;
+        o.machine.progress.cmMaxPatience = patience;
+        const ExperimentResult r = runExperiment(
+            WorkloadKind::LFUCache, RuntimeKind::FlexTmEager, o);
+        EXPECT_EQ(r.commits, 200u) << "cmMaxPatience=" << patience;
+    }
+}
+
+TEST(ProgressKnobs, BackoffShiftCapSweep)
+{
+    for (unsigned cap : {0u, 4u, 10u, 20u}) {
+        ExperimentOptions o;
+        o.threads = 4;
+        o.totalOps = 200;
+        o.machine.cores = 8;
+        o.machine.memoryBytes = 64u << 20;
+        o.machine.progress.backoffShiftCap = cap;
+        const ExperimentResult r = runExperiment(
+            WorkloadKind::RBTree, RuntimeKind::FlexTmLazy, o);
+        EXPECT_EQ(r.commits, 200u) << "backoffShiftCap=" << cap;
+    }
+}
+
 /** Same seed => bit-identical execution (simulator determinism). */
 TEST(Determinism, IdenticalRunsForSameSeed)
 {

@@ -22,10 +22,11 @@ constexpr WorkloadKind kWorkloads[] = {
     WorkloadKind::HashTable,
     WorkloadKind::RBTree,
     WorkloadKind::LFUCache,
+    WorkloadKind::RandomGraph,
 };
 constexpr unsigned kSeedsPerCell = 3;
 
-/** Distinct seeds for every (runtime, workload, k) cell: 54 total
+/** Distinct seeds for every (runtime, workload, k) cell: 72 total
  *  across the six per-runtime sweep tests below. */
 std::uint64_t
 cellSeed(unsigned rt_index, unsigned wl_index, unsigned k)
