@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Simulator-performance trajectory bench (BENCH_sim.json).
+ *
+ * Unlike the figure/table harnesses, which measure the *simulated*
+ * machine, perf_sim measures the *simulator*: host wall-clock and
+ * simulated-cycles-per-host-second over a fixed workload matrix -
+ * the 54-cell fault sweep shape (6 runtimes x 3 workloads x 3
+ * seeds, 4 threads, 96 ops, chaos fault plan, full oracle replay).
+ * The matrix is frozen so successive PRs are comparable.
+ *
+ * The first run records itself as the baseline:
+ *
+ *     perf_sim --record-baseline --out BENCH_sim.json
+ *
+ * Later runs reload the baseline block from the existing file,
+ * re-measure, and emit both plus the speedup:
+ *
+ *     perf_sim --out BENCH_sim.json
+ *
+ * Determinism cross-check: the summed commits/aborts/checked-ops of
+ * the matrix are part of the file; a current run whose totals differ
+ * from the baseline's is measuring different work (a red flag that a
+ * "perf" change altered simulation semantics) and exits nonzero.
+ *
+ * --quick runs a 6-cell subset (one workload, one seed per runtime)
+ * with no JSON output - the perf-smoke ctest entry, so the harness
+ * itself cannot rot.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hh"
+#include "workloads/fault_harness.hh"
+
+using namespace flextm;
+
+namespace
+{
+
+constexpr RuntimeKind kRuntimes[] = {
+    RuntimeKind::FlexTmEager, RuntimeKind::FlexTmLazy,
+    RuntimeKind::Cgl,         RuntimeKind::Rstm,
+    RuntimeKind::Tl2,         RuntimeKind::RtmF,
+};
+constexpr WorkloadKind kWorkloads[] = {
+    WorkloadKind::HashTable,
+    WorkloadKind::LFUCache,
+    WorkloadKind::RBTree,
+};
+constexpr unsigned kSeedsPerCell = 3;
+constexpr unsigned kThreads = 4;
+constexpr unsigned kTotalOps = 96;
+
+struct Cell
+{
+    RuntimeKind rk;
+    WorkloadKind wk;
+    std::uint64_t seed;
+};
+
+struct CellResult
+{
+    bool ok = false;
+    std::string message;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t checkedOps = 0;
+    Cycles simCycles = 0;
+};
+
+struct Totals
+{
+    double wallSeconds = 0.0;
+    std::uint64_t simCycles = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t checkedOps = 0;
+    unsigned jobs = 1;
+
+    double
+    cyclesPerSecond() const
+    {
+        return wallSeconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(simCycles) / wallSeconds;
+    }
+};
+
+std::vector<Cell>
+buildMatrix(bool quick)
+{
+    std::vector<Cell> cells;
+    unsigned r = 0;
+    for (RuntimeKind rk : kRuntimes) {
+        unsigned w = 0;
+        for (WorkloadKind wk : kWorkloads) {
+            for (unsigned k = 0; k < kSeedsPerCell; ++k) {
+                // Same seed derivation style as the fault sweep:
+                // distinct per cell, stable across runs.
+                cells.push_back(Cell{
+                    rk, wk,
+                    7000 + (std::uint64_t{r} * 8 + w) * kSeedsPerCell +
+                        k});
+                if (quick)
+                    break;
+            }
+            ++w;
+            if (quick)
+                break;
+        }
+        ++r;
+    }
+    return cells;
+}
+
+CellResult
+runCell(const Cell &c)
+{
+    FaultRunOptions opt;
+    opt.seed = c.seed;
+    opt.threads = kThreads;
+    opt.totalOps = kTotalOps;
+    opt.quiet = true;
+    FaultRunResult r = runFaultedExperiment(c.wk, c.rk, opt);
+    CellResult out;
+    out.ok = r.report.ok;
+    out.message = r.report.message;
+    out.commits = r.commits;
+    out.aborts = r.aborts;
+    out.checkedOps = r.report.checkedOps;
+    out.simCycles = r.cycles;
+    return out;
+}
+
+/** Run the whole matrix across @p jobs workers; returns totals. */
+bool
+runMatrix(const std::vector<Cell> &cells, unsigned jobs, Totals &tot)
+{
+    std::vector<CellResult> results(cells.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    parallelFor(cells.size(), jobs,
+                [&](std::size_t i) { results[i] = runCell(cells[i]); });
+    const auto t1 = std::chrono::steady_clock::now();
+
+    tot = Totals{};
+    tot.jobs = jobs;
+    tot.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    for (const CellResult &r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "perf_sim: cell failed: %s\n",
+                         r.message.c_str());
+            return false;
+        }
+        tot.simCycles += r.simCycles;
+        tot.commits += r.commits;
+        tot.aborts += r.aborts;
+        tot.checkedOps += r.checkedOps;
+    }
+    return true;
+}
+
+/**
+ * Minimal extractor for the flat JSON this tool writes: finds
+ * `"<section>": { ... "<key>": <number> ... }`.  Good enough to
+ * round-trip our own output; not a general JSON parser.
+ */
+bool
+extractNumber(const std::string &text, const std::string &section,
+              const std::string &key, double &out)
+{
+    const std::size_t s = text.find("\"" + section + "\"");
+    if (s == std::string::npos)
+        return false;
+    const std::size_t open = text.find('{', s);
+    const std::size_t close = text.find('}', open);
+    if (open == std::string::npos || close == std::string::npos)
+        return false;
+    const std::string body = text.substr(open, close - open);
+    const std::size_t k = body.find("\"" + key + "\"");
+    if (k == std::string::npos)
+        return false;
+    const std::size_t colon = body.find(':', k);
+    if (colon == std::string::npos)
+        return false;
+    out = std::strtod(body.c_str() + colon + 1, nullptr);
+    return true;
+}
+
+bool
+loadBaseline(const std::string &path, Totals &base)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    double wall = 0, cycles = 0, commits = 0, aborts = 0, ops = 0;
+    if (!extractNumber(text, "baseline", "wall_seconds", wall) ||
+        !extractNumber(text, "baseline", "sim_cycles", cycles) ||
+        !extractNumber(text, "baseline", "commits", commits) ||
+        !extractNumber(text, "baseline", "aborts", aborts) ||
+        !extractNumber(text, "baseline", "checked_ops", ops)) {
+        return false;
+    }
+    base.wallSeconds = wall;
+    base.simCycles = static_cast<std::uint64_t>(cycles);
+    base.commits = static_cast<std::uint64_t>(commits);
+    base.aborts = static_cast<std::uint64_t>(aborts);
+    base.checkedOps = static_cast<std::uint64_t>(ops);
+    return true;
+}
+
+void
+writeSection(std::FILE *f, const char *name, const Totals &t,
+             bool trailingComma)
+{
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"wall_seconds\": %.4f,\n"
+                 "    \"sim_cycles\": %llu,\n"
+                 "    \"sim_cycles_per_second\": %.0f,\n"
+                 "    \"commits\": %llu,\n"
+                 "    \"aborts\": %llu,\n"
+                 "    \"checked_ops\": %llu,\n"
+                 "    \"jobs\": %u\n"
+                 "  }%s\n",
+                 name, t.wallSeconds,
+                 static_cast<unsigned long long>(t.simCycles),
+                 t.cyclesPerSecond(),
+                 static_cast<unsigned long long>(t.commits),
+                 static_cast<unsigned long long>(t.aborts),
+                 static_cast<unsigned long long>(t.checkedOps), t.jobs,
+                 trailingComma ? "," : "");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_sim.json";
+    bool record_baseline = false;
+    bool quick = false;
+    unsigned jobs = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (a == "--record-baseline") {
+            record_baseline = true;
+        } else if (a == "--quick") {
+            quick = true;
+        } else if (a == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (jobs == 0)
+                jobs = 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_sim [--out FILE] "
+                         "[--record-baseline] [--quick] [--jobs N]\n");
+            return 2;
+        }
+    }
+
+    const std::vector<Cell> cells = buildMatrix(quick);
+    std::fprintf(stderr,
+                 "perf_sim: %zu cells (%s), %u job%s ...\n",
+                 cells.size(), quick ? "quick" : "full", jobs,
+                 jobs == 1 ? "" : "s");
+
+    // Serial pass: the single-thread trajectory number.
+    Totals serial;
+    if (!runMatrix(cells, 1, serial))
+        return 1;
+    std::fprintf(stderr,
+                 "perf_sim: serial %.2fs, %.0f Mcycles/s, "
+                 "%llu commits\n",
+                 serial.wallSeconds, serial.cyclesPerSecond() / 1e6,
+                 static_cast<unsigned long long>(serial.commits));
+
+    // Parallel pass (skipped when it would repeat the serial pass).
+    Totals parallel = serial;
+    if (jobs > 1) {
+        if (!runMatrix(cells, jobs, parallel))
+            return 1;
+        std::fprintf(stderr, "perf_sim: parallel(%u) %.2fs\n", jobs,
+                     parallel.wallSeconds);
+    }
+
+    if (quick) {
+        std::fprintf(stderr, "perf_sim: quick mode, no JSON output\n");
+        return 0;
+    }
+
+    Totals baseline;
+    bool have_baseline = false;
+    if (!record_baseline)
+        have_baseline = loadBaseline(out_path, baseline);
+    if (!have_baseline) {
+        if (!record_baseline)
+            std::fprintf(stderr,
+                         "perf_sim: no baseline in %s; recording this "
+                         "run as the baseline\n",
+                         out_path.c_str());
+        baseline = serial;
+        have_baseline = true;
+    }
+
+    // Same matrix => same simulated work.  A mismatch means a perf
+    // change altered simulation behaviour; fail loudly.
+    if (baseline.commits != serial.commits ||
+        baseline.aborts != serial.aborts ||
+        baseline.checkedOps != serial.checkedOps ||
+        baseline.simCycles != serial.simCycles) {
+        std::fprintf(stderr,
+                     "perf_sim: MATRIX MISMATCH vs baseline "
+                     "(commits %llu/%llu aborts %llu/%llu "
+                     "ops %llu/%llu cycles %llu/%llu)\n",
+                     (unsigned long long)serial.commits,
+                     (unsigned long long)baseline.commits,
+                     (unsigned long long)serial.aborts,
+                     (unsigned long long)baseline.aborts,
+                     (unsigned long long)serial.checkedOps,
+                     (unsigned long long)baseline.checkedOps,
+                     (unsigned long long)serial.simCycles,
+                     (unsigned long long)baseline.simCycles);
+        return 1;
+    }
+
+    const double speedup_serial =
+        serial.wallSeconds > 0 ? baseline.wallSeconds / serial.wallSeconds
+                               : 0.0;
+    const double speedup_best =
+        parallel.wallSeconds > 0
+            ? baseline.wallSeconds / parallel.wallSeconds
+            : speedup_serial;
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "perf_sim: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"bench\": \"perf_sim\",\n"
+                 "  \"schema\": 1,\n"
+                 "  \"matrix\": {\n"
+                 "    \"runtimes\": 6,\n"
+                 "    \"workloads\": 3,\n"
+                 "    \"seeds_per_cell\": %u,\n"
+                 "    \"cells\": %zu,\n"
+                 "    \"threads\": %u,\n"
+                 "    \"total_ops\": %u\n"
+                 "  },\n",
+                 kSeedsPerCell, cells.size(), kThreads, kTotalOps);
+    writeSection(f, "baseline", baseline, true);
+    writeSection(f, "current", serial, true);
+    writeSection(f, "current_parallel", parallel, true);
+    std::fprintf(f,
+                 "  \"speedup_serial\": %.3f,\n"
+                 "  \"speedup_best\": %.3f\n"
+                 "}\n",
+                 speedup_serial, speedup_best);
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "perf_sim: wrote %s (serial speedup %.2fx, best "
+                 "%.2fx vs baseline %.2fs)\n",
+                 out_path.c_str(), speedup_serial, speedup_best,
+                 baseline.wallSeconds);
+    return 0;
+}

@@ -24,9 +24,9 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 
 #include "core/signature.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace flextm
@@ -94,8 +94,11 @@ class OverflowTable
     void
     forEach(Fn fn) const
     {
-        for (const auto &[pa, e] : entries_)
-            fn(e);
+        // Physical-address order: the architecture leaves copy-back
+        // order unconstrained, but the simulator keeps it fixed so
+        // runs are reproducible for a given seed.
+        entries_.forEachSorted(
+            [&fn](Addr, const OtEntry &e) { fn(e); });
     }
 
     /** Lifetime statistics for the overflow study (Section 7.3). */
@@ -104,7 +107,7 @@ class OverflowTable
     std::size_t highWater() const { return highWater_; }
 
   private:
-    std::map<Addr, OtEntry> entries_;
+    FlatMap<Addr, OtEntry> entries_;
     Signature osig_;
     bool committed_ = false;
     std::uint64_t totalOverflows_ = 0;

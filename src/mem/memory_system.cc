@@ -1,5 +1,6 @@
 #include "mem/memory_system.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/trace.hh"
@@ -18,10 +19,46 @@ bit(CoreId c)
 
 } // anonymous namespace
 
+MemorySystem::HotCounters::HotCounters(StatRegistry &s)
+    : l1Hits(s.counter("l1.hits")), l1Misses(s.counter("l1.misses")),
+      l1Upgrades(s.counter("l1.upgrades")),
+      l1Writebacks(s.counter("l1.writebacks")),
+      l1SilentEvictions(s.counter("l1.silent_evictions")),
+      l1UncachedLoads(s.counter("l1.uncached_loads")),
+      l2Misses(s.counter("l2.misses")),
+      l2Evictions(s.counter("l2.evictions")),
+      dirRequests(s.counter("dir.requests")),
+      dirForwards(s.counter("dir.forwards")),
+      dirFlushes(s.counter("dir.flushes")),
+      otAllocations(s.counter("ot.allocations")),
+      otSpills(s.counter("ot.spills")),
+      otRefills(s.counter("ot.refills")),
+      otNacks(s.counter("ot.nacks")),
+      otFalsePositives(s.counter("ot.false_positives")),
+      otCommitCopybacks(s.counter("ot.commit_copybacks")),
+      commitSuccess(s.counter("commit.success")),
+      commitFailedCsts(s.counter("commit.failed_csts")),
+      commitFailedAborted(s.counter("commit.failed_aborted")),
+      abortFlash(s.counter("abort.flash")),
+      siAborts(s.counter("si.aborts")),
+      memCasOps(s.counter("mem.cas_ops")),
+      pdiTmiInstalls(s.counter("pdi.tmi_installs")),
+      pdiTmiFromM(s.counter("pdi.tmi_from_m")),
+      pdiTiInstalls(s.counter("pdi.ti_installs")),
+      pdiTiUpgradeRefreshes(s.counter("pdi.ti_upgrade_refreshes")),
+      aouTiAloads(s.counter("aou.ti_aloads")),
+      faultTmiEvictions(s.counter("fault.tmi_evictions")),
+      osCtxswitchSpills(s.counter("os.ctxswitch_spills")),
+      sharerCacheHits(s.counter("sharer_cache.hits")),
+      sharerCacheMisses(s.counter("sharer_cache.misses"))
+{
+}
+
 MemorySystem::MemorySystem(const MachineConfig &cfg, SimMemory &mem,
                            std::vector<HwContext> &contexts,
                            StatRegistry &stats)
     : cfg_(cfg), mem_(mem), contexts_(contexts), stats_(stats),
+      ctr_(stats),
       net_(cfg.cores, cfg.interconnectRadix, cfg.linkLatency),
       l2_(cfg.l2Bytes, cfg.l2Ways, cfg.l2Banks)
 {
@@ -51,9 +88,49 @@ MemorySystem::applyToLine(L1Line &line, AccessType type, Addr addr,
         std::memcpy(buf, line.data.data() + off, size);
 }
 
+bool
+MemorySystem::memoQuery(const Signature &sig, SigMemo &m, Addr addr)
+{
+    // A cached TRUE stays true while no bits were removed (same
+    // generation: the filter is monotone).  A cached FALSE needs the
+    // stronger check that nothing was inserted either.
+    if (m.valid && m.gen == sig.generation() &&
+        (m.result || m.pop == sig.insertCount())) {
+        ++ctr_.sharerCacheHits;
+        return m.result;
+    }
+    ++ctr_.sharerCacheMisses;
+    m.result = sig.mayContain(addr);
+    m.gen = sig.generation();
+    m.pop = sig.insertCount();
+    m.valid = true;
+    return m.result;
+}
+
+bool
+MemorySystem::wsigMayContain(CoreId k, Addr addr)
+{
+    const Signature &sig = contexts_[k].wsig;
+    if (!cfg_.dirSharerCache)
+        return sig.mayContain(addr);
+    return memoQuery(sig, sharerCache_[lineAlign(addr) | k].w, addr);
+}
+
+bool
+MemorySystem::rsigMayContain(CoreId k, Addr addr)
+{
+    const Signature &sig = contexts_[k].rsig;
+    if (!cfg_.dirSharerCache)
+        return sig.mayContain(addr);
+    return memoQuery(sig, sharerCache_[lineAlign(addr) | k].r, addr);
+}
+
 Cycles
 MemorySystem::otNackDelay(Addr addr, Cycles now) const
 {
+    // Common case: no copy-back in flight anywhere - skip the scan.
+    if (retiredBusyUntil_ <= now)
+        return 0;
     Cycles delay = 0;
     for (unsigned k = 0; k < cfg_.cores; ++k) {
         const RetiredOt &r = retiredOt_[k];
@@ -76,12 +153,12 @@ MemorySystem::spillToOt(CoreId core, L1Line &line)
         ctx.otAllocTrap();
         sim_assert(ctx.ot != nullptr,
                    "OT allocation trap did not install a table");
-        ++stats_.counter("ot.allocations");
+        ++ctr_.otAllocations;
     }
     // Logical == physical in the flat image; the OS paging module
     // retags entries when it remaps pages.
     ctx.ot->insert(line.base, line.base, line.data.data());
-    ++stats_.counter("ot.spills");
+    ++ctr_.otSpills;
     pendingEvictCost_ += otLatency_;
 }
 
@@ -100,7 +177,7 @@ MemorySystem::evictL1Line(CoreId core, L1Line &line, Cycles now)
           l2l.data = line.data;
           l2l.dirty = true;
           pendingEvictCost_ += net_.l1ToL2();
-          ++stats_.counter("l1.writebacks");
+          ++ctr_.l1Writebacks;
           break;
       }
       case LineState::TMI:
@@ -112,7 +189,7 @@ MemorySystem::evictL1Line(CoreId core, L1Line &line, Cycles now)
         // Silent eviction: the directory keeps the (sticky) entry so
         // this core continues to see the requests it needs for
         // conflict detection.
-        ++stats_.counter("l1.silent_evictions");
+        ++ctr_.l1SilentEvictions;
         break;
       case LineState::I:
         break;
@@ -126,7 +203,7 @@ MemorySystem::evictL2Line(L2Line &line, Cycles now)
 {
     if (!line.valid)
         return;
-    ++stats_.counter("l2.evictions");
+    ++ctr_.l2Evictions;
     // Recall every cached L1 copy (rare: only when an L2 set fills
     // with lines that still have L1 residents).
     for (unsigned k = 0; k < cfg_.cores; ++k) {
@@ -155,7 +232,7 @@ MemorySystem::l2FillOrFind(Addr addr, Cycles now, Cycles &latency)
         return *l;
 
     latency += cfg_.memLatency;
-    ++stats_.counter("l2.misses");
+    ++ctr_.l2Misses;
     L2Line &nl = l2_.allocate(
         addr, now, [this, now](L2Line &victim) {
             evictL2Line(victim, now);
@@ -169,9 +246,9 @@ MemorySystem::l2FillOrFind(Addr addr, Cycles now, Cycles &latency)
         const HwContext &ck = contexts_[k];
         if (!ck.inTx)
             continue;
-        if (ck.wsig.mayContain(addr))
+        if (wsigMayContain(k, addr))
             nl.dir.owners |= bit(k);
-        else if (ck.rsig.mayContain(addr))
+        else if (rsigMayContain(k, addr))
             nl.dir.sharers |= bit(k);
     }
     return nl;
@@ -184,8 +261,8 @@ MemorySystem::forwardOne(CoreId k, CoreId requestor, ReqType t,
 {
     HwContext &ck = contexts_[k];
     L1Line *line = l1s_[k]->probe(addr);
-    const bool w_hit = ck.inTx && ck.wsig.mayContain(addr);
-    const bool r_hit = ck.inTx && ck.rsig.mayContain(addr);
+    const bool w_hit = ck.inTx && wsigMayContain(k, addr);
+    const bool r_hit = ck.inTx && rsigMayContain(k, addr);
 
     // Signature-derived response (Figure 1 table) + responder-side
     // CST update (Section 3.2).
@@ -216,7 +293,7 @@ MemorySystem::forwardOne(CoreId k, CoreId requestor, ReqType t,
         // write serializes before it (strong isolation, Section 3.5).
         resp = w_hit ? RemoteResp::Threatened : RemoteResp::Invalidated;
         if ((w_hit || r_hit) && ck.inTx) {
-            ++stats_.counter("si.aborts");
+            ++ctr_.siAborts;
             if (ck.strongAbort)
                 ck.strongAbort(requestor);
         }
@@ -229,7 +306,7 @@ MemorySystem::forwardOne(CoreId k, CoreId requestor, ReqType t,
             // Flush: data to requestor and directory.
             l2line.data = line->data;
             l2line.dirty = true;
-            ++stats_.counter("dir.flushes");
+            ++ctr_.dirFlushes;
             if (t == ReqType::GETS) {
                 line->state = LineState::S;
                 retained_shared = true;
@@ -278,7 +355,7 @@ MemorySystem::dirTransaction(CoreId core, ReqType req_type, Addr addr,
 {
     DirOutcome out;
     out.latency = net_.l1ToL2RoundTrip() + cfg_.l2HitLatency;
-    ++stats_.counter("dir.requests");
+    ++ctr_.dirRequests;
     FTRACE(Protocol, now, "core%u %s 0x%llx", core,
            reqTypeName(req_type), (unsigned long long)lineAlign(addr));
 
@@ -295,7 +372,7 @@ MemorySystem::dirTransaction(CoreId core, ReqType req_type, Addr addr,
     const Cycles nack = otNackDelay(addr, now);
     if (nack > 0) {
         out.latency += nack;
-        ++stats_.counter("ot.nacks");
+        ++ctr_.otNacks;
     }
 
     L2Line &l2l = l2FillOrFind(addr, now, out.latency);
@@ -316,7 +393,7 @@ MemorySystem::dirTransaction(CoreId core, ReqType req_type, Addr addr,
     if (targets) {
         out.latency += net_.forwardRoundTrip() + 1;
         out.fwd.anyForward = true;
-        ++stats_.counter("dir.forwards");
+        ++ctr_.dirForwards;
 
         ConflictSummaryTable::forEach(targets, [&](CoreId k) {
             bool retained_tmi = false;
@@ -342,8 +419,8 @@ MemorySystem::dirTransaction(CoreId core, ReqType req_type, Addr addr,
             // gone (silent eviction / OT spill): the core must keep
             // receiving the requests it needs for conflict tracking.
             const HwContext &ck = contexts_[k];
-            const bool w_hit = ck.inTx && ck.wsig.mayContain(addr);
-            const bool r_hit = ck.inTx && ck.rsig.mayContain(addr);
+            const bool w_hit = ck.inTx && wsigMayContain(k, addr);
+            const bool r_hit = ck.inTx && rsigMayContain(k, addr);
             const bool sticky =
                 stickyCheck_ && stickyCheck_(k, addr);
 
@@ -403,7 +480,7 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
                            })) {
         res.latency += pendingEvictCost_;
         pendingEvictCost_ = 0;
-        ++stats_.counter("fault.tmi_evictions");
+        ++ctr_.faultTmiEvictions;
         FTRACE(Fault, now, "core%u forced TMI eviction", core);
     }
 
@@ -428,14 +505,14 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
         switch (type) {
           case AccessType::Load:
           case AccessType::TLoad:
-            ++stats_.counter("l1.hits");
+            ++ctr_.l1Hits;
             applyToLine(*line, type, addr, size, buf);
             return res;
           case AccessType::Store:
             if (line->state == LineState::M ||
                 line->state == LineState::E) {
                 line->state = LineState::M;
-                ++stats_.counter("l1.hits");
+                ++ctr_.l1Hits;
                 applyToLine(*line, type, addr, size, buf);
                 return res;
             }
@@ -444,7 +521,7 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
             break;  // S / TI: GETX upgrade
           case AccessType::TStore:
             if (line->state == LineState::TMI) {
-                ++stats_.counter("l1.hits");
+                ++ctr_.l1Hits;
                 applyToLine(*line, type, addr, size, buf);
                 return res;
             }
@@ -464,7 +541,7 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
                 }
                 line->state = LineState::TMI;
                 applyToLine(*line, type, addr, size, buf);
-                ++stats_.counter("pdi.tmi_from_m");
+                ++ctr_.pdiTmiFromM;
                 return res;
             }
             break;  // E / S / TI: TGETX upgrade
@@ -486,15 +563,15 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
             std::memcpy(fr.data.data(), tmp, lineBytes);
             res.latency += otLatency_ + pendingEvictCost_;
             pendingEvictCost_ = 0;
-            ++stats_.counter("ot.refills");
+            ++ctr_.otRefills;
             applyToLine(fr, type, addr, size, buf);
             return res;
         }
-        ++stats_.counter("ot.false_positives");
+        ++ctr_.otFalsePositives;
     }
 
     // ---- Miss / upgrade: directory transaction -------------------
-    ++stats_.counter(line ? "l1.upgrades" : "l1.misses");
+    ++(line ? ctr_.l1Upgrades : ctr_.l1Misses);
     const ReqType rt = !isWrite(type)     ? ReqType::GETS
                        : type == AccessType::Store ? ReqType::GETX
                                                    : ReqType::TGETX;
@@ -535,7 +612,7 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
               const unsigned off = static_cast<unsigned>(addr & lineMask);
               std::memcpy(buf, l2l->data.data() + off, size);
               res.uncached = true;
-              ++stats_.counter("l1.uncached_loads");
+              ++ctr_.l1UncachedLoads;
               return res;
           }
           sim_assert(!line, "GETS with line present");
@@ -547,7 +624,7 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
           if (type == AccessType::TLoad && threatened) {
               fr.state = LineState::TI;
               d.sharers |= bit(core);
-              ++stats_.counter("pdi.ti_installs");
+              ++ctr_.pdiTiInstalls;
           } else if (!d.anyCached()) {
               fr.state = LineState::E;
               d.exclusive = core;
@@ -583,7 +660,7 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
                                       evictL1Line(core, v, now);
                                   });
           } else if (line->state == LineState::TI) {
-              ++stats_.counter("pdi.ti_upgrade_refreshes");
+              ++ctr_.pdiTiUpgradeRefreshes;
           }
           // Refresh the base image on upgrades too: a TI copy is the
           // stable version from *install* time and may miss commits
@@ -600,7 +677,7 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
           applyToLine(*line, type, addr, size, buf);
           res.latency += pendingEvictCost_;
           pendingEvictCost_ = 0;
-          ++stats_.counter("pdi.tmi_installs");
+          ++ctr_.pdiTmiInstalls;
           return res;
       }
     }
@@ -645,7 +722,7 @@ MemorySystem::cas(CoreId core, Addr addr, std::uint64_t expected,
         std::memcpy(line->data.data() + off, &desired, size);
         out.success = true;
     }
-    ++stats_.counter("mem.cas_ops");
+    ++ctr_.memCasOps;
     return out;
 }
 
@@ -664,7 +741,7 @@ MemorySystem::casCommit(CoreId core, Addr tsw_addr,
     if (check_csts &&
         (ctx.cst.wr.raw() | ctx.cst.ww.raw()) != 0) {
         res.outcome = CommitOutcome::FailedCsts;
-        ++stats_.counter("commit.failed_csts");
+        ++ctr_.commitFailedCsts;
         return res;
     }
 
@@ -675,7 +752,7 @@ MemorySystem::casCommit(CoreId core, Addr tsw_addr,
         // We lost a race with an enemy's abort: discard speculation.
         res.latency += abortTx(core, now);
         res.outcome = CommitOutcome::FailedAborted;
-        ++stats_.counter("commit.failed_aborted");
+        ++ctr_.commitFailedAborted;
         return res;
     }
 
@@ -699,12 +776,14 @@ MemorySystem::casCommit(CoreId core, Addr tsw_addr,
         retiredOt_[core].osig = ctx.ot->osig();
         retiredOt_[core].busyUntil =
             now + res.latency + n * otLatency_;
+        retiredBusyUntil_ =
+            std::max(retiredBusyUntil_, retiredOt_[core].busyUntil);
         ctx.ot->clear();
-        stats_.counter("ot.commit_copybacks") += n;
+        ctr_.otCommitCopybacks += n;
     }
 
     res.outcome = CommitOutcome::Committed;
-    ++stats_.counter("commit.success");
+    ++ctr_.commitSuccess;
     FTRACE(Tm, now, "core%u CAS-Commit success", core);
     return res;
 }
@@ -717,7 +796,7 @@ MemorySystem::abortTx(CoreId core, Cycles now)
     l1s_[core]->flashAbort();
     if (ctx.ot)
         ctx.ot->clear();
-    ++stats_.counter("abort.flash");
+    ++ctr_.abortFlash;
     return cfg_.l1HitLatency;
 }
 
@@ -746,7 +825,7 @@ MemorySystem::aload(CoreId core, Addr addr, Cycles now)
         l2l.dir.sharers |= bit(core);
         r.latency += pendingEvictCost_;
         pendingEvictCost_ = 0;
-        ++stats_.counter("aou.ti_aloads");
+        ++ctr_.aouTiAloads;
         line = &fr;
     }
     line->aBit = true;
@@ -779,7 +858,7 @@ MemorySystem::flushTransactionalState(CoreId core, Cycles now)
     });
     lat += pendingEvictCost_;
     pendingEvictCost_ = 0;
-    stats_.counter("os.ctxswitch_spills") += spilled;
+    ctr_.osCtxswitchSpills += spilled;
     return lat;
 }
 

@@ -46,6 +46,7 @@
 #include "mem/l2_cache.hh"
 #include "mem/protocol.hh"
 #include "sim/config.hh"
+#include "sim/flat_map.hh"
 #include "sim/sim_memory.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -192,6 +193,27 @@ class MemorySystem
     SimMemory &mem_;
     std::vector<HwContext> &contexts_;
     StatRegistry &stats_;
+
+    /** Hot-path counters, interned once at construction so a bump is
+     *  a plain increment (no string lookup per simulated access). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatRegistry &s);
+        Counter &l1Hits, &l1Misses, &l1Upgrades, &l1Writebacks;
+        Counter &l1SilentEvictions, &l1UncachedLoads;
+        Counter &l2Misses, &l2Evictions;
+        Counter &dirRequests, &dirForwards, &dirFlushes;
+        Counter &otAllocations, &otSpills, &otRefills, &otNacks;
+        Counter &otFalsePositives, &otCommitCopybacks;
+        Counter &commitSuccess, &commitFailedCsts, &commitFailedAborted;
+        Counter &abortFlash, &siAborts, &memCasOps;
+        Counter &pdiTmiInstalls, &pdiTmiFromM, &pdiTiInstalls;
+        Counter &pdiTiUpgradeRefreshes, &aouTiAloads;
+        Counter &faultTmiEvictions, &osCtxswitchSpills;
+        Counter &sharerCacheHits, &sharerCacheMisses;
+    };
+    HotCounters ctr_;
+
     Interconnect net_;
     std::vector<std::unique_ptr<L1Cache>> l1s_;
     L2Cache l2_;
@@ -203,6 +225,39 @@ class MemorySystem
         Cycles busyUntil = 0;
     };
     std::vector<RetiredOt> retiredOt_;
+    /** max(busyUntil) over retiredOt_: lets otNackDelay() skip the
+     *  per-core scan entirely once every copy-back has drained. */
+    Cycles retiredBusyUntil_ = 0;
+
+    /**
+     * Directory sharer cache: exact memoization of per-core Rsig /
+     * Wsig membership per line.  A memoized result is revalidated
+     * against the signature's (generation, insertCount) version on
+     * every use - see Signature::generation() for the contract - so
+     * the cache never needs invalidation hooks and cannot change
+     * simulated behaviour (MachineConfig::dirSharerCache gates it
+     * for debugging only).
+     */
+    struct SigMemo
+    {
+        std::uint64_t gen = 0;
+        std::uint64_t pop = 0;
+        bool result = false;
+        bool valid = false;
+    };
+    struct SharerMemo
+    {
+        SigMemo w, r;
+    };
+    /** Keyed by lineAlign(addr) | core (lines are 64-byte aligned;
+     *  cores fit the low 6 bits since maxCstCores == 64). */
+    FlatMap<Addr, SharerMemo> sharerCache_;
+
+    /** Memoized ctx.wsig.mayContain(addr) for core @p k. */
+    bool wsigMayContain(CoreId k, Addr addr);
+    /** Memoized ctx.rsig.mayContain(addr) for core @p k. */
+    bool rsigMayContain(CoreId k, Addr addr);
+    bool memoQuery(const Signature &sig, SigMemo &m, Addr addr);
 
     StickyCheck stickyCheck_;
     MissHook missHook_;

@@ -26,7 +26,7 @@ PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
 {
     if (policy == CmPolicy::Timid) {
         if (hooks.enemyActive()) {
-            ++self.machine().stats().counter("cm.self_aborts");
+            ++self.ctr_.cmSelfAborts;
             throw TxAbort{};
         }
         return;
@@ -47,14 +47,14 @@ PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
             const unsigned s = interval < 8 ? interval : 8;
             const Cycles base = Cycles{16} << s;
             self.work(base / 2 + self.rng().nextInt(base));
-            ++self.machine().stats().counter("cm.irrevocable_stalls");
+            ++self.ctr_.cmIrrevocableStalls;
             ++interval;
             continue;
         }
 
         if (policy == CmPolicy::Aggressive) {
             hooks.abortEnemy();
-            ++self.machine().stats().counter("cm.enemy_aborts");
+            ++self.ctr_.cmEnemyAborts;
             return;
         }
 
@@ -72,13 +72,13 @@ PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
 
         if (interval >= patience) {
             hooks.abortEnemy();
-            ++self.machine().stats().counter("cm.enemy_aborts");
+            ++self.ctr_.cmEnemyAborts;
             return;
         }
         // Randomized exponential back-off interval.
         const Cycles base = Cycles{16} << interval;
         self.work(base / 2 + self.rng().nextInt(base));
-        ++self.machine().stats().counter("cm.backoffs");
+        ++self.ctr_.cmBackoffs;
         ++interval;
     }
 }

@@ -96,7 +96,7 @@ FlexTmThread::checkAlert()
     c.aou.acknowledge();
 
     if (strongAborted_) {
-        ++m_.stats().counter("flextm.strong_isolation_aborts");
+        ++g_.siAborts;
         throw TxAbort{};
     }
     // The handler inspects the TSW; if an enemy aborted us, unroll.
@@ -114,7 +114,7 @@ void
 FlexTmThread::handleEagerConflicts(std::uint64_t enemies)
 {
     ConflictSummaryTable::forEach(enemies, [&](CoreId k) {
-        ++m_.stats().counter("flextm.eager_conflicts");
+        ++g_.eagerConflicts;
         PolkaHooks hooks;
         hooks.enemyActive = [this, k] {
             const Addr enemy_tsw = g_.tswOf[k];
@@ -204,7 +204,7 @@ FlexTmThread::commitTx()
                 defer = true;
         });
         if (defer) {
-            ++m_.stats().counter("progress.commit_defers");
+            ++g_.commitDefers;
             throw TxAbort{};
         }
 
@@ -226,7 +226,7 @@ FlexTmThread::commitTx()
                 CasOutcome o =
                     casWord(enemy_tsw, TswActive, TswAborted, 4);
                 if (o.success)
-                    ++m_.stats().counter("flextm.commit_kills");
+                    ++g_.commitKills;
             }
             if (g_.abortSuspended)
                 g_.abortSuspended(*this, k);
@@ -244,8 +244,7 @@ FlexTmThread::commitTx()
 
         switch (cr.outcome) {
           case CommitOutcome::Committed: {
-            m_.stats().histogram("flextm.tx_conflicts")
-                .add(std::popcount(txConflictMask_));
+            g_.txConflicts.add(std::popcount(txConflictMask_));
             // Drop transactional hardware state *before* the remote
             // CST hygiene pass (which takes time): once the TSW says
             // committed, our signatures must stop producing conflict
@@ -282,7 +281,7 @@ FlexTmThread::injectRemoteAbort()
 {
     // Model an enemy's commit-time kill: CAS our TSW to aborted and
     // deliver the AOU alert, driving the full abort path.
-    ++m_.stats().counter("fault.forced_aborts");
+    ++ctr_.faultForcedAborts;
     casWord(tswAddr_, TswActive, TswAborted, 4);
     ctx().aou.raise(AlertCause::RemoteUpdate, tswAddr_);
     checkAlert();  // observes the aborted TSW and throws

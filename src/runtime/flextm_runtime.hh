@@ -35,9 +35,21 @@ namespace flextm
 struct FlexTmGlobals
 {
     explicit FlexTmGlobals(Machine &m)
-        : tswOf(m.cores(), 0), karma(m.cores(), 0)
+        : eagerConflicts(m.stats().counter("flextm.eager_conflicts")),
+          siAborts(m.stats().counter("flextm.strong_isolation_aborts")),
+          commitKills(m.stats().counter("flextm.commit_kills")),
+          commitDefers(m.stats().counter("progress.commit_defers")),
+          txConflicts(m.stats().histogram("flextm.tx_conflicts")),
+          tswOf(m.cores(), 0), karma(m.cores(), 0)
     {
     }
+
+    /** @name Interned conflict/commit counters (hot: bumped per
+     *  conflicting access / per commit, not per experiment). */
+    /// @{
+    Counter &eagerConflicts, &siAborts, &commitKills, &commitDefers;
+    Histogram &txConflicts;
+    /// @}
 
     /** Per-core address of the running transaction's TSW (0: none).
      *  This is the process-level registry the commit routine uses to

@@ -1,5 +1,7 @@
 #include "runtime/rstm_runtime.hh"
 
+#include <algorithm>
+
 #include "runtime/conflict_manager.hh"
 #include "sim/logging.hh"
 
@@ -129,15 +131,17 @@ void
 RstmThread::validateReadSet()
 {
     // Invisible readers + self-validation: every open re-checks all
-    // previously opened objects for consistency.
-    for (const auto &[header, ver] : readSet_) {
+    // previously opened objects for consistency.  Header loads go
+    // out in ascending header order (the former std::map order).
+    readSet_.forEachSorted([this](Addr header, const std::uint64_t &ver) {
         const std::uint64_t cur = plainRead(header, 8);
         if (cur == ver)
-            continue;
+            return;
         if (isLocked(cur) && lockOwner(cur) == core_) {
             // We acquired this object after reading it: the version
             // we saw must match the pre-acquisition version, else a
-            // writer committed in between.
+            // writer committed in between.  Aliased write entries
+            // all share the acquisition word, so any match decides.
             bool consistent = false;
             for (const auto &[line, e] : writeSet_) {
                 if (e.header == header) {
@@ -146,10 +150,10 @@ RstmThread::validateReadSet()
                 }
             }
             if (consistent)
-                continue;
+                return;
         }
         throw TxAbort{};
-    }
+    });
     ++m_.stats().counter("rstm.validations");
 }
 
@@ -236,29 +240,37 @@ RstmThread::releaseWrites(bool committed)
     // while one of those lines still has a pending install would let
     // a competitor acquire it and be overwritten by our stale clone.
     if (committed) {
-        for (const auto &[line, e] : writeSet_) {
+        writeSet_.forEachSorted([this](Addr line, const WriteEntry &e) {
             for (unsigned w = 0; w < lineBytes / 8; ++w) {
                 const std::uint64_t word =
                     plainRead(e.clone + 8 * w, 8);
                 plainWrite(line + 8 * w, word, 8);
             }
-        }
+        });
     }
     // Release each header exactly once (aliased entries share one).
-    for (auto it = writeSet_.begin(); it != writeSet_.end(); ++it) {
+    // Line order decides the releasing entry and the clone-recycle
+    // order, exactly as the ordered write set used to.
+    std::vector<std::pair<Addr, const WriteEntry *>> items;
+    items.reserve(writeSet_.size());
+    for (const auto &[line, e] : writeSet_)
+        items.emplace_back(line, &e);
+    std::sort(items.begin(), items.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < items.size(); ++i) {
         bool first = true;
-        for (auto pr = writeSet_.begin(); pr != it; ++pr) {
-            if (pr->second.header == it->second.header) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (items[j].second->header == items[i].second->header) {
                 first = false;
                 break;
             }
         }
         if (first)
-            plainWrite(it->second.header,
-                       committed ? it->second.oldHeader + 2
-                                 : it->second.oldHeader,
+            plainWrite(items[i].second->header,
+                       committed ? items[i].second->oldHeader + 2
+                                 : items[i].second->oldHeader,
                        8);
-        clonePool_.push_back(it->second.clone);
+        clonePool_.push_back(items[i].second->clone);
     }
     writeSet_.clear();
 }

@@ -22,10 +22,10 @@
 #ifndef FLEXTM_RUNTIME_RSTM_RUNTIME_HH
 #define FLEXTM_RUNTIME_RSTM_RUNTIME_HH
 
-#include <map>
 #include <vector>
 
 #include "runtime/tx_thread.hh"
+#include "sim/flat_map.hh"
 
 namespace flextm
 {
@@ -74,9 +74,9 @@ class RstmThread : public TxThread
     Addr tswAddr_;
 
     /** (header addr -> version observed) for opened-for-read lines */
-    std::map<Addr, std::uint64_t> readSet_;
+    FlatMap<Addr, std::uint64_t> readSet_;
     /** line base -> write entry */
-    std::map<Addr, WriteEntry> writeSet_;
+    FlatMap<Addr, WriteEntry> writeSet_;
 
     /** Clone buffers come from a thread-private arena reserved at
      *  construction and are never returned to the shared allocator:

@@ -131,7 +131,9 @@ RtmfThread::checkAlert()
 void
 RtmfThread::revalidateReadHeaders()
 {
-    for (const auto &[header, word] : readHeaders_) {
+    // Ascending header order, as the former std::map iterated.
+    readHeaders_.forEachSorted([this](Addr header,
+                                      const std::uint64_t &word) {
         std::uint64_t cur = plainRead(header, 8);
         while (isLocked(cur) && lockOwner(cur) != core_) {
             resolveOwner(header);
@@ -146,7 +148,7 @@ RtmfThread::revalidateReadHeaders()
         }
         // Re-establish the AOU watch lost to the invalidation.
         charge(m_.memsys().aload(core_, header, m_.scheduler().now()));
-    }
+    });
 }
 
 void
@@ -259,13 +261,13 @@ RtmfThread::txWrite(Addr a, std::uint64_t v, unsigned size)
 void
 RtmfThread::releaseAll(bool committed)
 {
-    for (const auto &[header, old] : acquired_)
+    acquired_.forEachSorted([&](Addr header, const std::uint64_t &old) {
         plainWrite(header, committed ? old + 2 : old, 8);
+    });
     acquired_.clear();
-    for (const auto &[header, word] : readHeaders_) {
-        (void)word;
+    readHeaders_.forEachSorted([this](Addr header, const std::uint64_t &) {
         m_.memsys().arelease(core_, header);
-    }
+    });
     readHeaders_.clear();
     openedLines_.clear();
 }

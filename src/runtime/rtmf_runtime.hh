@@ -19,12 +19,11 @@
 #ifndef FLEXTM_RUNTIME_RTMF_RUNTIME_HH
 #define FLEXTM_RUNTIME_RTMF_RUNTIME_HH
 
-#include <map>
-#include <set>
 #include <vector>
 
 #include "core/overflow_table.hh"
 #include "runtime/tx_thread.hh"
+#include "sim/flat_map.hh"
 
 namespace flextm
 {
@@ -70,11 +69,11 @@ class RtmfThread : public TxThread
     bool strongAborted_ = false;
 
     /** Headers we ALoaded for read monitoring -> word observed. */
-    std::map<Addr, std::uint64_t> readHeaders_;
+    FlatMap<Addr, std::uint64_t> readHeaders_;
     /** Acquired headers -> pre-acquisition word. */
-    std::map<Addr, std::uint64_t> acquired_;
+    FlatMap<Addr, std::uint64_t> acquired_;
     /** Lines already opened (avoid re-running open protocol). */
-    std::set<Addr> openedLines_;
+    FlatSet<Addr> openedLines_;
 
     HwContext &ctx() { return m_.context(core_); }
 

@@ -216,9 +216,11 @@ Tl2Thread::commitTx()
         }
     }
 
-    // Write back the redo log and release with the new version.
-    for (const auto &[a, e] : writeSet_)
+    // Write back the redo log and release with the new version
+    // (address order, as the std::map write set used to iterate).
+    writeSet_.forEachSorted([this](Addr a, const WsEntry &e) {
         plainWrite(a, e.value, e.size);
+    });
     releaseHeld(false, wv);
     return true;
 }

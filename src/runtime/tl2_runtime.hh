@@ -19,10 +19,10 @@
 #ifndef FLEXTM_RUNTIME_TL2_RUNTIME_HH
 #define FLEXTM_RUNTIME_TL2_RUNTIME_HH
 
-#include <map>
 #include <vector>
 
 #include "runtime/tx_thread.hh"
+#include "sim/flat_map.hh"
 
 namespace flextm
 {
@@ -70,7 +70,7 @@ class Tl2Thread : public TxThread
 
     /** Redo log, keyed by address (host-side index; the simulated
      *  log writes model the memory cost). */
-    std::map<Addr, WsEntry> writeSet_;
+    FlatMap<Addr, WsEntry> writeSet_;
     std::uint64_t wsFilter_ = 0;  //!< cheap per-txn Bloom filter
 
     /** Read set: (lock word address, observed version). */

@@ -8,8 +8,23 @@
 namespace flextm
 {
 
+TxThread::HotCounters::HotCounters(StatRegistry &s)
+    : txCommits(s.counter("tx.commits")), txAborts(s.counter("tx.aborts")),
+      txNestedCommits(s.counter("tx.nested_commits")),
+      txNestedAborts(s.counter("tx.nested_aborts")),
+      faultSpuriousAlerts(s.counter("fault.spurious_alerts")),
+      faultForcedAborts(s.counter("fault.forced_aborts")),
+      progressTokenWaits(s.counter("progress.token_waits")),
+      progressBeginStalls(s.counter("progress.begin_stalls")),
+      cmSelfAborts(s.counter("cm.self_aborts")),
+      cmEnemyAborts(s.counter("cm.enemy_aborts")),
+      cmBackoffs(s.counter("cm.backoffs")),
+      cmIrrevocableStalls(s.counter("cm.irrevocable_stalls"))
+{
+}
+
 TxThread::TxThread(Machine &m, ThreadId tid, CoreId core)
-    : m_(m), tid_(tid), core_(core),
+    : m_(m), tid_(tid), core_(core), ctr_(m.stats()),
       rng_(m.deriveSeed(0x1000 + tid))
 {
 }
@@ -136,7 +151,7 @@ TxThread::maybeInjectFaults()
     if (!fp || !inTx_ || paused_)
         return;
     if (fp->fire(FaultKind::SpuriousAlert)) {
-        ++m_.stats().counter("fault.spurious_alerts");
+        ++ctr_.faultSpuriousAlerts;
         FTRACE(Fault, m_.scheduler().now(),
                "thread %u spurious alert", tid_);
         injectSpuriousAlert();
@@ -164,7 +179,7 @@ TxThread::injectRemoteAbort()
     // Software runtimes recover through their normal abort path; the
     // hardware runtimes override this to go through their status
     // word so the full enemy-abort machinery is exercised.
-    ++m_.stats().counter("fault.forced_aborts");
+    ++ctr_.faultForcedAborts;
     throw TxAbort{};
 }
 
@@ -199,7 +214,7 @@ TxThread::txnNested(const std::function<void()> &body)
                 o->recordWrite(tid_, e.addr, e.size, e.old);
         }
         nestMarks_.pop_back();
-        ++m_.stats().counter("tx.nested_aborts");
+        ++ctr_.txNestedAborts;
         return false;
     } catch (...) {
         // Full abort (TxAbort) or other unwind: the whole
@@ -208,7 +223,7 @@ TxThread::txnNested(const std::function<void()> &body)
         throw;
     }
     nestMarks_.pop_back();
-    ++m_.stats().counter("tx.nested_commits");
+    ++ctr_.txNestedCommits;
     return true;
 }
 
@@ -301,7 +316,7 @@ TxThread::awaitTxnSlot()
         // Escalated: claim the token, waiting out a current holder.
         // (Idempotent when we already hold it across a retry.)
         while (!pm.tryAcquireToken(tid_, core_)) {
-            ++m_.stats().counter("progress.token_waits");
+            ++ctr_.progressTokenWaits;
             work(64 + rng_.nextInt(128u));
         }
         escalateNext_ = false;
@@ -310,7 +325,7 @@ TxThread::awaitTxnSlot()
     // Someone else is irrevocable: the fallback degrades the machine
     // to serial execution - stall until the holder drains.
     while (pm.tokenHeldByOther(tid_)) {
-        ++m_.stats().counter("progress.begin_stalls");
+        ++ctr_.progressBeginStalls;
         work(64 + rng_.nextInt(128u));
     }
 }
@@ -354,7 +369,7 @@ TxThread::txn(const std::function<void()> &body)
                 freeMem(a);
             deferredFrees_.clear();
             ++commits_;
-            ++m_.stats().counter("tx.commits");
+            ++ctr_.txCommits;
             return;
         }
         if (oracle)
@@ -365,7 +380,7 @@ TxThread::txn(const std::function<void()> &body)
         // restored state; leaking them is the only safe choice.
         deferredFrees_.clear();
         ++aborts_;
-        ++m_.stats().counter("tx.aborts");
+        ++ctr_.txAborts;
         abortCleanup();
         ++attempt_;
         if (onAbortYield_)

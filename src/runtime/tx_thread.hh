@@ -266,6 +266,22 @@ class TxThread
     Machine &m_;
     ThreadId tid_;
     CoreId core_;
+
+    /** Interned per-transaction counters (shared across the
+     *  machine's threads; bumping one is a plain increment). */
+    struct HotCounters
+    {
+        explicit HotCounters(StatRegistry &s);
+        Counter &txCommits, &txAborts;
+        Counter &txNestedCommits, &txNestedAborts;
+        Counter &faultSpuriousAlerts, &faultForcedAborts;
+        Counter &progressTokenWaits, &progressBeginStalls;
+        Counter &cmSelfAborts, &cmEnemyAborts, &cmBackoffs;
+        Counter &cmIrrevocableStalls;
+    };
+    HotCounters ctr_;
+    friend class PolkaManager;
+
     Rng rng_;
     bool inTx_ = false;
     bool paused_ = false;

@@ -106,6 +106,14 @@ struct MachineConfig
 
     /** Forward-progress policy (escalation on by default). */
     ProgressConfig progress;
+
+    /**
+     * Directory sharer cache (host-side speedup only): memoize
+     * per-core signature membership per line so directory loops skip
+     * repeated Bloom probes.  Exact - results are identical with the
+     * cache on or off; the knob exists to isolate it when debugging.
+     */
+    bool dirSharerCache = true;
 };
 
 } // namespace flextm

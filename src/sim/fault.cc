@@ -10,7 +10,11 @@ namespace flextm
 namespace
 {
 
-FaultPlan *activePlan = nullptr;
+/** Thread-local, like the scheduler's activeSched: each OS thread
+ *  can drive its own Machine without the plans clobbering each
+ *  other.  The fiber scheduler never migrates across OS threads, so
+ *  every component of one Machine sees the same plan. */
+thread_local FaultPlan *activePlan = nullptr;
 
 } // anonymous namespace
 

@@ -101,9 +101,10 @@ class FaultPlan
 
     /**
      * The plan injection points reach from code with no Machine
-     * handle (Signature::insert).  The simulation is single-host-
-     * threaded and one Machine registers at a time, so a process-wide
-     * pointer is safe; it is cleared in ~Machine.
+     * handle (Signature::insert).  The pointer is thread-local: a
+     * Machine registers its plan on the OS thread that constructs and
+     * runs it, so independent Machines on separate threads (parallel
+     * seed sweeps) cannot clobber each other.  Cleared in ~Machine.
      */
     static FaultPlan *active();
     static void setActive(FaultPlan *p);

@@ -1,5 +1,7 @@
 #include "sim/oracle.hh"
 
+#include "sim/flat_map.hh"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -172,12 +174,19 @@ TxOracle::validate(const PeekFn &peek) const
         }
     }
 
-    // Sequential replay in stamp order over a sparse byte shadow.
-    // Bytes the history never wrote are seeded from the first read
-    // that touches them: the baseline image does not matter, only
-    // consistency from that point on.
-    std::unordered_map<Addr, std::uint8_t> shadow;
-    shadow.reserve(4096);
+    // Sequential replay in stamp order over a sparse shadow, kept at
+    // line granularity (an op never crosses a line, so each op costs
+    // one map probe; a valid-byte mask tracks which bytes the replay
+    // has defined).  Bytes the history never wrote are seeded from
+    // the first read that touches them: the baseline image does not
+    // matter, only consistency from that point on.
+    struct ShadowLine
+    {
+        std::uint64_t mask = 0;
+        std::uint8_t bytes[lineBytes] = {};
+    };
+    FlatMap<Addr, ShadowLine> shadow;
+    shadow.reserve(1024);
     for (const Txn *t : order) {
         ++rep.checkedTxns;
         for (const Op &op : t->ops) {
@@ -185,23 +194,30 @@ TxOracle::validate(const PeekFn &peek) const
             std::uint8_t bytes[8];
             std::memcpy(bytes, &op.value, sizeof(bytes));
             sim_assert(op.size >= 1 && op.size <= 8);
+            const unsigned off =
+                static_cast<unsigned>(op.addr & lineMask);
+            sim_assert(off + op.size <= lineBytes,
+                       "oracle op crosses a line");
+            ShadowLine &sl = shadow[lineAlign(op.addr)];
             if (op.isWrite) {
-                for (unsigned i = 0; i < op.size; ++i)
-                    shadow[op.addr + i] = bytes[i];
+                std::memcpy(sl.bytes + off, bytes, op.size);
+                sl.mask |= ((std::uint64_t{1} << op.size) - 1) << off;
                 continue;
             }
             for (unsigned i = 0; i < op.size; ++i) {
-                auto it = shadow.find(op.addr + i);
-                if (it == shadow.end()) {
-                    shadow.emplace(op.addr + i, bytes[i]);
+                const std::uint64_t bit = std::uint64_t{1}
+                                          << (off + i);
+                if (!(sl.mask & bit)) {
+                    sl.bytes[off + i] = bytes[i];
+                    sl.mask |= bit;
                     continue;
                 }
-                if (it->second != bytes[i]) {
+                if (sl.bytes[off + i] != bytes[i]) {
                     char det[96];
                     std::snprintf(
                         det, sizeof(det),
                         ": byte %u read 0x%02x, replay expects 0x%02x",
-                        i, bytes[i], it->second);
+                        i, bytes[i], sl.bytes[off + i]);
                     fail("non-serializable " +
                          formatOp("read", t->tid, t->stamp, op.addr,
                                   op.size) +
@@ -213,21 +229,34 @@ TxOracle::validate(const PeekFn &peek) const
     }
 
     // Final-state diff: every byte the replay tracked must match the
-    // machine's real memory after the run.
-    for (const auto &[addr, expect] : shadow) {
-        std::uint8_t actual = 0;
-        peek(addr, &actual, 1);
-        if (actual != expect) {
-            char det[128];
-            std::snprintf(
-                det, sizeof(det),
-                "final state diverges at 0x%llx: memory 0x%02x, "
-                "replay expects 0x%02x",
-                static_cast<unsigned long long>(addr), actual, expect);
-            fail(det);
-            return rep;
+    // machine's real memory after the run.  Lines ascending, bytes
+    // ascending within each line, so a multi-byte divergence always
+    // names the same (lowest) byte - and each line costs one peek
+    // (the peek walks every core's L1 looking for a fresher copy,
+    // which is far too slow to repeat per byte).
+    shadow.forEachSorted([&](Addr base, const ShadowLine &sl) {
+        if (!rep.ok)
+            return;
+        std::uint8_t actual[lineBytes];
+        peek(base, actual, lineBytes);
+        for (unsigned i = 0; i < lineBytes; ++i) {
+            if (!(sl.mask >> i & 1))
+                continue;
+            if (actual[i] != sl.bytes[i]) {
+                char det[128];
+                std::snprintf(
+                    det, sizeof(det),
+                    "final state diverges at 0x%llx: memory 0x%02x, "
+                    "replay expects 0x%02x",
+                    static_cast<unsigned long long>(base + i),
+                    actual[i], sl.bytes[i]);
+                fail(det);
+                return;
+            }
         }
-    }
+    });
+    if (!rep.ok)
+        return rep;
 
     return rep;
 }

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Host-side parallelism for independent simulations.
+ *
+ * A Machine is self-contained (its memory image, caches, stats,
+ * fault plan, and fiber scheduler are all per-instance, and the only
+ * process-wide simulator state - the active fault plan and the
+ * active fiber scheduler - is thread_local), so independent seeds of
+ * a sweep can run on separate OS threads.  parallelFor is the shared
+ * driver loop: the fault-injection sweep, the forward-progress
+ * sweep, and the perf_sim bench all feed it their seed matrices.
+ *
+ * Determinism is unaffected: each index runs exactly the simulation
+ * it would run serially; only wall-clock completion order varies.
+ * Callers must keep per-index results in pre-sized slots (no shared
+ * mutable state inside the body) and do their asserting/printing
+ * after parallelFor returns.
+ */
+
+#ifndef FLEXTM_SIM_PARALLEL_HH
+#define FLEXTM_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace flextm
+{
+
+/**
+ * Worker count for sweep drivers: FLEXTM_JOBS when set (0 or 1
+ * serialize), otherwise the hardware concurrency.
+ */
+inline unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("FLEXTM_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0')
+            return v == 0 ? 1u : static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+/**
+ * Run fn(0) ... fn(n-1) across up to @p jobs OS threads.  Indices
+ * are handed out from an atomic counter, so long and short cells mix
+ * freely.  jobs <= 1 degrades to the plain serial loop (no threads
+ * spawned), which is also the deterministic-output ordering mode.
+ *
+ * fn must not throw: a sweep body that can fail should record the
+ * failure in its result slot for the caller to assert on.
+ */
+inline void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, n));
+    std::atomic<std::size_t> next{0};
+    auto body = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned t = 1; t < workers; ++t)
+        pool.emplace_back(body);
+    body();
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace flextm
+
+#endif // FLEXTM_SIM_PARALLEL_HH

@@ -1,9 +1,22 @@
 #include "sim/sim_memory.hh"
 
+#include <cstdlib>
+
 namespace flextm
 {
 
-SimMemory::SimMemory(std::size_t bytes) : image_(bytes, 0)
+SimMemory::Image::Image(std::size_t n)
+    : data(static_cast<std::uint8_t *>(std::calloc(n, 1))), bytes(n)
+{
+    sim_assert(data != nullptr, "cannot back a %zu-byte image", n);
+}
+
+SimMemory::Image::~Image()
+{
+    std::free(data);
+}
+
+SimMemory::SimMemory(std::size_t bytes) : image_(bytes)
 {
     sim_assert(bytes >= (1u << 20), "memory image too small");
     // Reserve the first line so simulated address 0 stays invalid.
@@ -75,7 +88,7 @@ void
 SimMemory::checkRange(Addr addr, std::size_t n) const
 {
     sim_assert(addr != 0, "null simulated pointer dereference");
-    sim_assert(addr + n <= image_.size(),
+    sim_assert(addr + n <= image_.bytes,
                "simulated access out of range: %llu+%zu",
                static_cast<unsigned long long>(addr), n);
 }
@@ -84,14 +97,14 @@ void
 SimMemory::read(Addr addr, void *out, std::size_t n) const
 {
     checkRange(addr, n);
-    std::memcpy(out, image_.data() + addr, n);
+    std::memcpy(out, image_.data + addr, n);
 }
 
 void
 SimMemory::write(Addr addr, const void *in, std::size_t n)
 {
     checkRange(addr, n);
-    std::memcpy(image_.data() + addr, in, n);
+    std::memcpy(image_.data + addr, in, n);
 }
 
 const std::uint8_t *
@@ -99,7 +112,7 @@ SimMemory::linePtr(Addr line_base) const
 {
     checkRange(line_base, lineBytes);
     sim_assert((line_base & lineMask) == 0);
-    return image_.data() + line_base;
+    return image_.data + line_base;
 }
 
 std::uint8_t *
@@ -107,7 +120,7 @@ SimMemory::linePtr(Addr line_base)
 {
     checkRange(line_base, lineBytes);
     sim_assert((line_base & lineMask) == 0);
-    return image_.data() + line_base;
+    return image_.data + line_base;
 }
 
 } // namespace flextm

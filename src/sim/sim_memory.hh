@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace flextm
@@ -36,7 +37,7 @@ class SimMemory
     explicit SimMemory(std::size_t bytes = defaultBytes);
 
     /** Total size of the image in bytes. */
-    std::size_t size() const { return image_.size(); }
+    std::size_t size() const { return image_.bytes; }
 
     /**
      * Allocate a block of at least @p bytes, aligned to @p align
@@ -83,9 +84,27 @@ class SimMemory
     static constexpr std::size_t defaultBytes = 256u << 20;
 
   private:
-    std::vector<std::uint8_t> image_;
+    /**
+     * The zero-initialized backing store.  calloc, not a
+     * value-initialized vector: a fresh Machine's image is hundreds
+     * of megabytes of which a workload touches a few, and calloc
+     * serves large requests with lazily-zeroed pages, so Machine
+     * construction cost scales with bytes *used*, not bytes
+     * configured.  That matters when a seed sweep builds a Machine
+     * per cell.
+     */
+    struct Image
+    {
+        explicit Image(std::size_t n);
+        ~Image();
+        Image(const Image &) = delete;
+        Image &operator=(const Image &) = delete;
+        std::uint8_t *data = nullptr;
+        std::size_t bytes = 0;
+    };
+    Image image_;
     /** addr -> block size, for free() and leak queries. */
-    std::map<Addr, std::size_t> blocks_;
+    FlatMap<Addr, std::size_t> blocks_;
     /** free list: addr -> size, coalesced on free. */
     std::map<Addr, std::size_t> freeList_;
     std::size_t allocated_ = 0;

@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
 #include "sim/logging.hh"
@@ -8,57 +9,54 @@
 namespace flextm
 {
 
+namespace
+{
+
+/** Overflow bucket k holds [2^(k+8), 2^(k+9)); v must be >= 256. */
+unsigned
+overflowBucket(std::uint64_t v)
+{
+    return std::bit_width(v) - 9;
+}
+
+} // anonymous namespace
+
 void
 Histogram::add(std::uint64_t v)
 {
-    if (!samples_.empty() && v < samples_.back())
-        sorted_ = false;
-    samples_.push_back(v);
+    if (count_ == 0 || v < min_)
+        min_ = v;
+    if (count_ == 0 || v > max_)
+        max_ = v;
+    ++count_;
     sum_ += v;
+    if (v < kExact) {
+        ++exact_[v];
+    } else {
+        const unsigned b = overflowBucket(v);
+        ++overCount_[b];
+        overSum_[b] += v;
+    }
 }
 
 void
 Histogram::clear()
 {
-    samples_.clear();
-    sorted_ = true;
+    exact_.fill(0);
+    overCount_.fill(0);
+    overSum_.fill(0);
+    count_ = 0;
     sum_ = 0;
-}
-
-void
-Histogram::ensureSorted() const
-{
-    if (!sorted_) {
-        std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
-    }
-}
-
-std::uint64_t
-Histogram::min() const
-{
-    if (samples_.empty())
-        return 0;
-    ensureSorted();
-    return samples_.front();
-}
-
-std::uint64_t
-Histogram::max() const
-{
-    if (samples_.empty())
-        return 0;
-    ensureSorted();
-    return samples_.back();
+    min_ = 0;
+    max_ = 0;
 }
 
 double
 Histogram::mean() const
 {
-    if (samples_.empty())
+    if (count_ == 0)
         return 0.0;
-    return static_cast<double>(sum_) /
-           static_cast<double>(samples_.size());
+    return static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 std::uint64_t
@@ -67,37 +65,89 @@ Histogram::median() const
     return percentile(50.0);
 }
 
+/** The 0-based rank'th sample in sorted order.  Exact for values
+ *  below kExact; an overflow bucket answers with its mean. */
+std::uint64_t
+Histogram::valueAtRank(std::uint64_t rank) const
+{
+    std::uint64_t cum = 0;
+    for (std::uint64_t v = 0; v < kExact; ++v) {
+        cum += exact_[v];
+        if (cum > rank)
+            return v;
+    }
+    for (unsigned b = 0; b < kOverflow; ++b) {
+        cum += overCount_[b];
+        if (cum > rank)
+            return overSum_[b] / overCount_[b];
+    }
+    return max_;
+}
+
 std::uint64_t
 Histogram::percentile(double p) const
 {
-    if (samples_.empty())
+    if (count_ == 0)
         return 0;
-    ensureSorted();
     // Clamp out-of-range requests: p <= 0 is the minimum sample,
     // p >= 100 the maximum.
     if (p <= 0.0)
-        return samples_.front();
+        return min_;
     if (p >= 100.0)
-        return samples_.back();
-    const auto idx = static_cast<std::size_t>(
-        (p / 100.0) * static_cast<double>(samples_.size() - 1) + 0.5);
-    return samples_[std::min(idx, samples_.size() - 1)];
+        return max_;
+    const auto idx = static_cast<std::uint64_t>(
+        (p / 100.0) * static_cast<double>(count_ - 1) + 0.5);
+    return valueAtRank(std::min(idx, count_ - 1));
+}
+
+StatHandle
+StatRegistry::counterHandle(std::string_view name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const auto h = static_cast<StatHandle>(slots_.size());
+    slots_.emplace_back();
+    index_.emplace(std::string(name), h);
+    return h;
+}
+
+StatHandle
+StatRegistry::histogramHandle(std::string_view name)
+{
+    auto it = hindex_.find(name);
+    if (it != hindex_.end())
+        return it->second;
+    const auto h = static_cast<StatHandle>(hslots_.size());
+    hslots_.emplace_back();
+    hindex_.emplace(std::string(name), h);
+    return h;
+}
+
+std::uint64_t
+StatRegistry::counterValue(std::string_view name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? 0 : slots_[it->second].value;
 }
 
 void
 StatRegistry::clear()
 {
-    counters_.clear();
-    hists_.clear();
+    slots_.clear();
+    index_.clear();
+    hslots_.clear();
+    hindex_.clear();
 }
 
 void
 StatRegistry::dump() const
 {
-    for (const auto &[name, c] : counters_)
+    for (const auto &[name, h] : index_)
         std::printf("%-48s %12llu\n", name.c_str(),
-                    static_cast<unsigned long long>(c.value));
-    for (const auto &[name, h] : hists_) {
+                    static_cast<unsigned long long>(slots_[h].value));
+    for (const auto &[name, hh] : hindex_) {
+        const Histogram &h = hslots_[hh];
         std::printf("%-48s n=%llu mean=%.2f min=%llu med=%llu max=%llu\n",
                     name.c_str(),
                     static_cast<unsigned long long>(h.count()), h.mean(),

@@ -2,15 +2,23 @@
  * @file
  * Lightweight statistics registry.  Components register named scalar
  * counters and histograms; harnesses snapshot and print them.
+ *
+ * Names are interned: the string -> slot map is consulted once at
+ * registration, after which components hold either a StatHandle (an
+ * array index) or a cached Counter reference, so hot-path increments
+ * never touch a string.  Slots live in deques, so references handed
+ * out by counter()/counterAt() stay valid as more stats register.
  */
 
 #ifndef FLEXTM_SIM_STATS_HH
 #define FLEXTM_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
-#include <vector>
+#include <string_view>
 
 namespace flextm
 {
@@ -25,10 +33,18 @@ struct Counter
     void operator++(int) { ++value; }
 };
 
+/** Index of an interned stat inside its registry. */
+using StatHandle = std::uint32_t;
+
 /**
- * A value distribution tracker: count, sum, min, max, and exact
- * per-sample storage for median queries (sample sets in this simulator
- * are small: per-transaction CST population counts etc.).
+ * A value distribution tracker.  Values below kExact get an exact
+ * per-value bucket (simulator sample sets - CST population counts,
+ * consecutive-abort runs - live entirely in this range, so median
+ * and percentile queries stay exact there).  Larger values fall into
+ * power-of-two overflow buckets whose per-bucket mean stands in for
+ * the samples; count/sum/min/max stay exact regardless.  Both add()
+ * and every snapshot query are O(buckets), independent of how many
+ * samples were recorded.
  */
 class Histogram
 {
@@ -36,10 +52,10 @@ class Histogram
     void add(std::uint64_t v);
     void clear();
 
-    std::uint64_t count() const { return samples_.size(); }
+    std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
-    std::uint64_t min() const;
-    std::uint64_t max() const;
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
     double mean() const;
     /** Median of the samples (0 when empty). */
     std::uint64_t median() const;
@@ -47,37 +63,59 @@ class Histogram
     std::uint64_t percentile(double p) const;
 
   private:
-    mutable std::vector<std::uint64_t> samples_;
-    mutable bool sorted_ = true;
-    std::uint64_t sum_ = 0;
+    /** Values below this have exact per-value buckets. */
+    static constexpr std::uint64_t kExact = 256;
+    /** log2 buckets for v >= kExact: bucket k holds [2^(k+8), 2^(k+9)). */
+    static constexpr unsigned kOverflow = 56;
 
-    void ensureSorted() const;
+    std::array<std::uint64_t, kExact> exact_{};
+    std::array<std::uint64_t, kOverflow> overCount_{};
+    std::array<std::uint64_t, kOverflow> overSum_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+
+    std::uint64_t valueAtRank(std::uint64_t rank) const;
 };
 
 /**
- * Flat name -> stat maps.  One registry per simulated machine so that
- * repeated experiments in one process do not bleed into each other.
+ * Interned name -> stat registry.  One registry per simulated machine
+ * so that repeated experiments in one process do not bleed into each
+ * other.  Lookups by name accept string_views and never allocate; a
+ * std::string is built once per name, at first registration.
  */
 class StatRegistry
 {
   public:
-    Counter &counter(const std::string &name) { return counters_[name]; }
-    Histogram &histogram(const std::string &name) { return hists_[name]; }
-
-    std::uint64_t
-    counterValue(const std::string &name) const
+    Counter &counter(std::string_view name)
     {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second.value;
+        return slots_[counterHandle(name)];
+    }
+    Histogram &histogram(std::string_view name)
+    {
+        return hslots_[histogramHandle(name)];
     }
 
-    const std::map<std::string, Counter> &counters() const
+    /** Intern a counter name; the handle indexes counterAt forever. */
+    StatHandle counterHandle(std::string_view name);
+    StatHandle histogramHandle(std::string_view name);
+
+    Counter &counterAt(StatHandle h) { return slots_[h]; }
+    const Counter &counterAt(StatHandle h) const { return slots_[h]; }
+    Histogram &histogramAt(StatHandle h) { return hslots_[h]; }
+
+    /** Value of a named counter, 0 when unregistered.  Allocation
+     *  free: the name is looked up heterogeneously. */
+    std::uint64_t counterValue(std::string_view name) const;
+
+    /** Visit counters in name order: fn(const std::string&, value). */
+    template <typename F>
+    void
+    forEachCounter(F &&fn) const
     {
-        return counters_;
-    }
-    const std::map<std::string, Histogram> &histograms() const
-    {
-        return hists_;
+        for (const auto &[name, h] : index_)
+            fn(name, slots_[h].value);
     }
 
     void clear();
@@ -86,8 +124,10 @@ class StatRegistry
     void dump() const;
 
   private:
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Histogram> hists_;
+    std::deque<Counter> slots_;
+    std::map<std::string, StatHandle, std::less<>> index_;
+    std::deque<Histogram> hslots_;
+    std::map<std::string, StatHandle, std::less<>> hindex_;
 };
 
 } // namespace flextm

@@ -207,20 +207,44 @@ void
 Scheduler::run(const std::function<bool()> &stop)
 {
     sim_assert(current_ == nullptr, "run() is not reentrant");
+    stop_ = &stop;
     while (!stop()) {
-        SimThread *next = pickNext();
+        SimThread *next = pending_ ? pending_ : pickNext();
+        pending_ = nullptr;
         if (!next)
             break;
         if (watchdog_)
             watchdog_(next->clock());
         switchTo(*next);
     }
+    stop_ = nullptr;
+    pending_ = nullptr;
 }
 
 void
 Scheduler::yield()
 {
     SimThread &self = current();
+    // Same-thread fast path: when this thread would be dispatched
+    // again immediately, skip the two context switches (each a
+    // sigprocmask syscall inside swapcontext) and keep running.  The
+    // stop / pickNext / watchdog sequence below is exactly one
+    // iteration of run()'s loop, so the dispatch order - including
+    // the schedule-perturbation RNG draws in pickNext() - is
+    // bit-identical to the switching path.
+    if (self.state_ == SimThread::State::Runnable && stop_ &&
+        !(*stop_)()) {
+        SimThread *next = pickNext();
+        if (next == &self) {
+            if (watchdog_)
+                watchdog_(self.clock());
+            return;
+        }
+        // Someone else's turn: hand the pick to run() so it is not
+        // repeated (the stop predicate is re-evaluated there, which
+        // is fine - predicates are pure cycle checks).
+        pending_ = next;
+    }
     fiberSwitchStart(&self.asanFakeStack_, asanMainStackBottom_,
                      asanMainStackSize_);
     if (swapcontext(&self.ctx_, &mainCtx_) != 0)

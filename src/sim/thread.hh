@@ -144,6 +144,15 @@ class Scheduler
 
     std::vector<std::unique_ptr<SimThread>> threads_;
     SimThread *current_ = nullptr;
+    /** run()'s stop predicate, exposed so yield()'s same-thread fast
+     *  path can keep the per-dispatch stop/watchdog cadence without
+     *  the round-trip to the scheduler stack. */
+    const std::function<bool()> *stop_ = nullptr;
+    /** Thread already picked by yield()'s fast-path check when it
+     *  turned out not to be the yielder: run() dispatches it instead
+     *  of re-picking, so pickNext() (and any schedule-perturbation
+     *  RNG draw inside it) still runs exactly once per dispatch. */
+    SimThread *pending_ = nullptr;
     FaultPlan *fault_ = nullptr;
     std::function<void(Cycles)> watchdog_;
     ucontext_t mainCtx_;

@@ -11,9 +11,11 @@ namespace flextm::trace
 namespace
 {
 
-unsigned activeMask = 0;
-bool initialized = false;
-Sink activeSink;
+/** Trace configuration is per OS thread so concurrent Machines can
+ *  trace independently (and the lazy env init cannot race). */
+thread_local unsigned activeMask = 0;
+thread_local bool initialized = false;
+thread_local Sink activeSink;
 
 const char *
 name(Category c)

@@ -32,7 +32,8 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
                   " runtime=" + runtimeKindName(rk) +
                   " workload=" + workloadKindName(wk);
     // Print the recipe up front so even a crash/assert names it.
-    std::fprintf(stderr, "[fault-harness] %s\n", res.context.c_str());
+    if (!opt.quiet)
+        std::fprintf(stderr, "[fault-harness] %s\n", res.context.c_str());
 
     Machine m(cfg);
     TxOracle oracle;

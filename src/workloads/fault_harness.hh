@@ -67,6 +67,9 @@ struct FaultRunOptions
     MachineConfig machine{};
     /** Observe the machine after the run (counters etc.). */
     std::function<void(Machine &)> inspect;
+    /** Suppress the up-front recipe line on stderr (perf sweeps run
+     *  hundreds of cells and do their own reporting). */
+    bool quiet = false;
 };
 
 /** What one faulted run produced. */

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Determinism regression goldens.
+ *
+ * The simulator promises bit-identical behaviour for a fixed seed:
+ * same commit/abort totals, same oracle-checked history, same cycle
+ * counts, same machine counters.  Perf work (container swaps, stat
+ * interning, caching layers) must not perturb any of that, so this
+ * test pins a fingerprint per runtime - two faulted cells (HashTable
+ * and LFUCache, fixed seeds, 4 threads, 96 ops) summarised as counts
+ * plus an FNV-1a hash over a curated counter list.
+ *
+ * The counter list is curated, not exhaustive, on purpose: adding a
+ * *new* diagnostic counter must not invalidate goldens, while any
+ * change to the architectural counters below means simulated
+ * behaviour changed and the golden must be re-derived deliberately.
+ *
+ * To regenerate after an intentional semantic change:
+ *   FLEXTM_GOLDEN_PRINT=1 ./determinism_golden_test
+ * and paste the emitted table over kGoldens below.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "workloads/fault_harness.hh"
+
+namespace flextm
+{
+namespace
+{
+
+/** Architectural counters folded into the fingerprint hash.  Keep
+ *  this list append-only-by-intent: it is the contract of what the
+ *  perf layer may never change. */
+const char *const kHashedCounters[] = {
+    "l1.hits",
+    "l1.writebacks",
+    "l1.uncached_loads",
+    "l1.silent_evictions",
+    "l2.misses",
+    "l2.evictions",
+    "dir.requests",
+    "dir.forwards",
+    "dir.flushes",
+    "mem.cas_ops",
+    "commit.success",
+    "commit.failed_csts",
+    "commit.failed_aborted",
+    "abort.flash",
+    "ot.spills",
+    "ot.refills",
+    "ot.nacks",
+    "ot.false_positives",
+    "si.aborts",
+    "pdi.tmi_installs",
+    "pdi.ti_installs",
+    "aou.ti_aloads",
+    "tx.commits",
+    "tx.aborts",
+    "cm.enemy_aborts",
+    "cm.self_aborts",
+    "progress.irrevocable_entries",
+    "progress.watchdog_trips",
+};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnv(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+struct Fingerprint
+{
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t faultsFired = 0;
+    std::uint64_t checkedTxns = 0;
+    std::uint64_t checkedOps = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t statHash = kFnvOffset;
+};
+
+/** Two fixed faulted cells, accumulated into one fingerprint. */
+Fingerprint
+fingerprint(RuntimeKind rk)
+{
+    struct Cell
+    {
+        WorkloadKind wk;
+        std::uint64_t seed;
+    };
+    const Cell cells[] = {
+        {WorkloadKind::HashTable, 4242},
+        {WorkloadKind::LFUCache, 4243},
+    };
+
+    Fingerprint fp;
+    for (const Cell &c : cells) {
+        FaultRunOptions opt;
+        opt.seed = c.seed;
+        opt.quiet = true;
+        opt.inspect = [&fp](Machine &m) {
+            for (const char *name : kHashedCounters)
+                fnv(fp.statHash, m.stats().counterValue(name));
+        };
+        const FaultRunResult r = runFaultedExperiment(c.wk, rk, opt);
+        EXPECT_TRUE(r.report.ok) << r.report.message;
+        EXPECT_FALSE(r.timedOut) << r.context;
+        fp.commits += r.commits;
+        fp.aborts += r.aborts;
+        fp.faultsFired += r.faultsFired;
+        fp.checkedTxns += r.report.checkedTxns;
+        fp.checkedOps += r.report.checkedOps;
+        fnv(fp.statHash, r.cycles);
+        fp.cycles += r.cycles;
+    }
+    return fp;
+}
+
+struct Golden
+{
+    RuntimeKind rk;
+    const char *name;
+    Fingerprint want;
+};
+
+// Regenerate with FLEXTM_GOLDEN_PRINT=1 (see file comment).
+const Golden kGoldens[] = {
+    {RuntimeKind::FlexTmEager, "FlexTmEager",
+     {192, 100, 440, 6428, 8222, 55538, 0x6ba783ad71522b79ull}},
+    {RuntimeKind::FlexTmLazy, "FlexTmLazy",
+     {192, 65, 399, 6430, 8395, 61978, 0xd8ee008e636797c4ull}},
+    {RuntimeKind::Cgl, "Cgl",
+     {192, 0, 68, 6433, 8412, 20092, 0x8c073f02d114c5a5ull}},
+    {RuntimeKind::Rstm, "Rstm",
+     {192, 164, 95, 6439, 7965, 105334, 0xc05a06b20465cbd7ull}},
+    {RuntimeKind::Tl2, "Tl2",
+     {192, 83, 152, 6440, 8564, 99209, 0xa15361a7278f097eull}},
+    {RuntimeKind::RtmF, "RtmF",
+     {192, 147, 607, 6428, 7911, 132361, 0x9c10d6645094bca4ull}},
+};
+
+class DeterminismGolden : public ::testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(DeterminismGolden, FingerprintMatches)
+{
+    const Golden &g = GetParam();
+    const Fingerprint got = fingerprint(g.rk);
+
+    if (std::getenv("FLEXTM_GOLDEN_PRINT") != nullptr) {
+        std::printf("    {RuntimeKind::%s, \"%s\",\n"
+                    "     {%llu, %llu, %llu, %llu, %llu, %llu, "
+                    "0x%llxull}},\n",
+                    g.name, g.name, (unsigned long long)got.commits,
+                    (unsigned long long)got.aborts,
+                    (unsigned long long)got.faultsFired,
+                    (unsigned long long)got.checkedTxns,
+                    (unsigned long long)got.checkedOps,
+                    (unsigned long long)got.cycles,
+                    (unsigned long long)got.statHash);
+        return;
+    }
+
+    EXPECT_EQ(got.commits, g.want.commits);
+    EXPECT_EQ(got.aborts, g.want.aborts);
+    EXPECT_EQ(got.faultsFired, g.want.faultsFired);
+    EXPECT_EQ(got.checkedTxns, g.want.checkedTxns);
+    EXPECT_EQ(got.checkedOps, g.want.checkedOps);
+    EXPECT_EQ(got.cycles, g.want.cycles);
+    EXPECT_EQ(got.statHash, g.want.statHash)
+        << "architectural counters changed for " << g.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRuntimes, DeterminismGolden,
+                         ::testing::ValuesIn(kGoldens),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+} // namespace
+} // namespace flextm

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <vector>
 
 #include "sim/fault.hh"
+#include "sim/parallel.hh"
 #include "workloads/fault_harness.hh"
 
 using namespace flextm;
@@ -40,24 +42,30 @@ cellSeed(unsigned rt_index, unsigned wl_index, unsigned k)
 void
 sweepRuntime(RuntimeKind rk, unsigned rt_index)
 {
+    // The cells are independent Machines, so they run across a
+    // thread pool; gtest assertions happen only after the join.
+    const std::size_t cells = std::size(kWorkloads) * kSeedsPerCell;
+    std::vector<FaultRunResult> results(cells);
+    parallelFor(cells, defaultJobs(), [&](std::size_t i) {
+        FaultRunOptions opt;
+        opt.seed = cellSeed(rt_index,
+                            static_cast<unsigned>(i / kSeedsPerCell),
+                            static_cast<unsigned>(i % kSeedsPerCell));
+        opt.threads = 4;
+        opt.totalOps = 96;
+        opt.quiet = true;
+        results[i] =
+            runFaultedExperiment(kWorkloads[i / kSeedsPerCell], rk, opt);
+    });
     std::uint64_t fired = 0;
-    for (unsigned w = 0; w < std::size(kWorkloads); ++w) {
-        for (unsigned k = 0; k < kSeedsPerCell; ++k) {
-            FaultRunOptions opt;
-            opt.seed = cellSeed(rt_index, w, k);
-            opt.threads = 4;
-            opt.totalOps = 96;
-            FaultRunResult r =
-                runFaultedExperiment(kWorkloads[w], rk, opt);
-            ASSERT_TRUE(r.report.ok) << r.report.message;
-            EXPECT_GT(r.commits, 0u) << r.context;
-            EXPECT_GT(r.report.checkedTxns, 0u) << r.context;
-            // The reproduction recipe must name the seed used.
-            EXPECT_NE(r.context.find(
-                          "seed=" + std::to_string(r.seed)),
-                      std::string::npos);
-            fired += r.faultsFired;
-        }
+    for (const FaultRunResult &r : results) {
+        ASSERT_TRUE(r.report.ok) << r.report.message;
+        EXPECT_GT(r.commits, 0u) << r.context;
+        EXPECT_GT(r.report.checkedTxns, 0u) << r.context;
+        // The reproduction recipe must name the seed used.
+        EXPECT_NE(r.context.find("seed=" + std::to_string(r.seed)),
+                  std::string::npos);
+        fired += r.faultsFired;
     }
     // The chaos plan must actually have perturbed the sweep.
     EXPECT_GT(fired, 0u) << runtimeKindName(rk);

@@ -18,6 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "sim/parallel.hh"
 #include "sim/progress.hh"
 #include "workloads/fault_harness.hh"
 
@@ -60,24 +63,28 @@ adversarialOptions(std::uint64_t seed)
 void
 sweepRuntime(RuntimeKind rk, unsigned rt_index)
 {
+    // Independent adversarial cells across a thread pool; the gtest
+    // assertions run after the join, over pre-sized result slots.
+    const std::size_t cells = std::size(kWorkloads) * kSeedsPerCell;
+    std::vector<FaultRunResult> results(cells);
+    parallelFor(cells, defaultJobs(), [&](std::size_t i) {
+        const std::size_t w = i / kSeedsPerCell;
+        const std::uint64_t seed =
+            7000 +
+            (std::uint64_t{rt_index} * std::size(kWorkloads) + w) *
+                kSeedsPerCell +
+            i % kSeedsPerCell;
+        FaultRunOptions opt = adversarialOptions(seed);
+        opt.quiet = true;
+        results[i] = runFaultedExperiment(kWorkloads[w], rk, opt);
+    });
     std::uint64_t entries = 0;
-    for (unsigned w = 0; w < std::size(kWorkloads); ++w) {
-        for (unsigned k = 0; k < kSeedsPerCell; ++k) {
-            const std::uint64_t seed =
-                7000 +
-                (std::uint64_t{rt_index} * std::size(kWorkloads) +
-                 w) *
-                    kSeedsPerCell +
-                k;
-            const FaultRunOptions opt = adversarialOptions(seed);
-            const FaultRunResult r =
-                runFaultedExperiment(kWorkloads[w], rk, opt);
-            ASSERT_FALSE(r.timedOut) << r.report.message;
-            ASSERT_TRUE(r.report.ok) << r.report.message;
-            EXPECT_GT(r.commits, 0u) << r.context;
-            EXPECT_GT(r.report.checkedTxns, 0u) << r.context;
-            entries += r.irrevocableEntries;
-        }
+    for (const FaultRunResult &r : results) {
+        ASSERT_FALSE(r.timedOut) << r.report.message;
+        ASSERT_TRUE(r.report.ok) << r.report.message;
+        EXPECT_GT(r.commits, 0u) << r.context;
+        EXPECT_GT(r.report.checkedTxns, 0u) << r.context;
+        entries += r.irrevocableEntries;
     }
     if (entries == 0) {
         // CGL never aborts, so it cannot trip the consecutive-abort
