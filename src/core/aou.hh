@@ -14,9 +14,7 @@
 #ifndef FLEXTM_CORE_AOU_HH
 #define FLEXTM_CORE_AOU_HH
 
-#include <algorithm>
-#include <vector>
-
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace flextm
@@ -38,22 +36,34 @@ class AouController
     void
     aload(Addr addr)
     {
-        const Addr base = lineAlign(addr);
-        if (!isMarked(base))
-            marked_.push_back(base);
+        marked_.insert(lineAlign(addr));
     }
 
     /** Remove the mark from the line containing @p addr (ARelease). */
     void
     arelease(Addr addr)
     {
-        const Addr base = lineAlign(addr);
-        std::erase(marked_, base);
+        marked_.erase(lineAlign(addr));
     }
 
-    /** Drop all marks (transaction end / context switch). */
+    /**
+     * Drop all marks (transaction end / context switch).  A pending
+     * alert is deliberately *not* discarded: the paper's context-
+     * switch semantics require an alert raised in the same window as
+     * transaction end / OS suspend to be delivered (or to abort the
+     * transaction), never silently lost.  The software path that owns
+     * the alert consumes it with acknowledge().
+     */
     void
     clear()
+    {
+        marked_.clear();
+    }
+
+    /** Full controller reset between experiments: marks AND any
+     *  pending alert (nobody is left to deliver it to). */
+    void
+    reset()
     {
         marked_.clear();
         alertPending_ = false;
@@ -62,12 +72,13 @@ class AouController
     bool
     isMarked(Addr addr) const
     {
-        const Addr base = lineAlign(addr);
-        return std::find(marked_.begin(), marked_.end(), base) !=
-               marked_.end();
+        return marked_.contains(lineAlign(addr));
     }
 
     std::size_t markedCount() const { return marked_.size(); }
+
+    /** The marked-line set (state auditor: invariant I7). */
+    const FlatSet<Addr> &markedLines() const { return marked_; }
 
     /**
      * Called by the L1 controller when a marked line is lost.
@@ -94,7 +105,7 @@ class AouController
     }
 
   private:
-    std::vector<Addr> marked_;
+    FlatSet<Addr> marked_;
     bool alertPending_ = false;
     AlertCause lastCause_ = AlertCause::RemoteUpdate;
     Addr lastAddr_ = 0;

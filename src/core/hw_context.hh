@@ -99,7 +99,7 @@ struct HwContext
         rsig.clear();
         wsig.clear();
         cst.clearAll();
-        aou.clear();
+        aou.reset();
         ot = nullptr;
         otThread = invalidThread;
         otBusyUntil = 0;

@@ -17,6 +17,22 @@ bit(CoreId c)
     return std::uint64_t{1} << c;
 }
 
+const char *
+accessTypeName(AccessType t)
+{
+    switch (t) {
+      case AccessType::Load:
+        return "Load";
+      case AccessType::Store:
+        return "Store";
+      case AccessType::TLoad:
+        return "TLoad";
+      case AccessType::TStore:
+        return "TStore";
+    }
+    return "?";
+}
+
 } // anonymous namespace
 
 MemorySystem::HotCounters::HotCounters(StatRegistry &s)
@@ -74,6 +90,94 @@ MemorySystem::MemorySystem(const MachineConfig &cfg, SimMemory &mem,
     // OT lives in (cached) virtual memory: model one controller
     // access as an L2-class access plus the tree traversal.
     otLatency_ = cfg.l2HitLatency + net_.l1ToL2RoundTrip();
+    if (cfg_.auditor != AuditLevel::Off)
+        auditor_ = std::make_unique<StateAuditor>(cfg_, *this);
+}
+
+// ---- Auditor-wrapped public entry points -------------------------
+//
+// Each protocol operation logs one trace-ring event on entry and runs
+// a transition-scope checkpoint once its state is settled.  The
+// checkpoint charges no simulated cycles, so results are identical
+// with the auditor on or off.
+
+MemResult
+MemorySystem::access(CoreId core, AccessType type, Addr addr,
+                     unsigned size, void *buf, Cycles now)
+{
+    if (!auditor_)
+        return accessImpl(core, type, addr, size, buf, now);
+    auditor_->noteEvent(now, accessTypeName(type), core,
+                        lineAlign(addr), size);
+    const MemResult r = accessImpl(core, type, addr, size, buf, now);
+    auditor_->checkpoint(AuditScope::Transition, now + r.latency,
+                         "access");
+    return r;
+}
+
+CasOutcome
+MemorySystem::cas(CoreId core, Addr addr, std::uint64_t expected,
+                  std::uint64_t desired, unsigned size, Cycles now)
+{
+    if (!auditor_)
+        return casImpl(core, addr, expected, desired, size, now);
+    auditor_->noteEvent(now, "cas", core, addr, expected);
+    const CasOutcome r =
+        casImpl(core, addr, expected, desired, size, now);
+    auditor_->checkpoint(AuditScope::Transition, now + r.latency,
+                         "cas");
+    return r;
+}
+
+CommitResult
+MemorySystem::casCommit(CoreId core, Addr tsw_addr,
+                        std::uint32_t expected, std::uint32_t desired,
+                        Cycles now, bool check_csts)
+{
+    if (!auditor_) {
+        return casCommitImpl(core, tsw_addr, expected, desired, now,
+                             check_csts);
+    }
+    auditor_->noteEvent(now, "cas_commit", core, tsw_addr, desired);
+    const CommitResult r =
+        casCommitImpl(core, tsw_addr, expected, desired, now,
+                      check_csts);
+    auditor_->checkpoint(AuditScope::Transition, now + r.latency,
+                         "cas_commit");
+    return r;
+}
+
+Cycles
+MemorySystem::abortTx(CoreId core, Cycles now)
+{
+    if (!auditor_)
+        return abortTxImpl(core, now);
+    auditor_->noteEvent(now, "abort_tx", core, 0, 0);
+    const Cycles r = abortTxImpl(core, now);
+    auditor_->checkpoint(AuditScope::Transition, now + r, "abort_tx");
+    return r;
+}
+
+Cycles
+MemorySystem::aload(CoreId core, Addr addr, Cycles now)
+{
+    if (!auditor_)
+        return aloadImpl(core, addr, now);
+    auditor_->noteEvent(now, "aload", core, lineAlign(addr), 0);
+    const Cycles r = aloadImpl(core, addr, now);
+    auditor_->checkpoint(AuditScope::Transition, now + r, "aload");
+    return r;
+}
+
+Cycles
+MemorySystem::flushTransactionalState(CoreId core, Cycles now)
+{
+    if (!auditor_)
+        return flushTransactionalStateImpl(core, now);
+    auditor_->noteEvent(now, "os_flush", core, 0, 0);
+    const Cycles r = flushTransactionalStateImpl(core, now);
+    auditor_->checkpoint(AuditScope::Transition, now + r, "os_flush");
+    return r;
 }
 
 void
@@ -272,6 +376,8 @@ MemorySystem::forwardOne(CoreId k, CoreId requestor, ReqType t,
         if (w_hit) {
             resp = RemoteResp::Threatened;
             ck.cst.wr.set(requestor);
+            if (auditor_)
+                auditor_->noteCstSet(k, CstKind::Wr, bit(requestor));
         } else if (line && line->valid()) {
             resp = RemoteResp::Shared;
         }
@@ -280,9 +386,13 @@ MemorySystem::forwardOne(CoreId k, CoreId requestor, ReqType t,
         if (w_hit) {
             resp = RemoteResp::Threatened;
             ck.cst.ww.set(requestor);
+            if (auditor_)
+                auditor_->noteCstSet(k, CstKind::Ww, bit(requestor));
         } else if (r_hit) {
             resp = RemoteResp::ExposedRead;
             ck.cst.rw.set(requestor);
+            if (auditor_)
+                auditor_->noteCstSet(k, CstKind::Rw, bit(requestor));
         } else {
             resp = RemoteResp::Invalidated;
         }
@@ -455,8 +565,8 @@ MemorySystem::dirTransaction(CoreId core, ReqType req_type, Addr addr,
 }
 
 MemResult
-MemorySystem::access(CoreId core, AccessType type, Addr addr,
-                     unsigned size, void *buf, Cycles now)
+MemorySystem::accessImpl(CoreId core, AccessType type, Addr addr,
+                         unsigned size, void *buf, Cycles now)
 {
     sim_assert(core < cfg_.cores);
     sim_assert(size >= 1 && size <= 8);
@@ -493,10 +603,15 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
             ctx.aou.raise(AlertCause::SigLocalAccess, addr);
     }
 
-    if (type == AccessType::TLoad)
+    if (type == AccessType::TLoad) {
         ctx.rsig.insert(addr);
-    else if (type == AccessType::TStore)
+        if (auditor_)
+            auditor_->noteAccess(core, false, addr);
+    } else if (type == AccessType::TStore) {
         ctx.wsig.insert(addr);
+        if (auditor_)
+            auditor_->noteAccess(core, true, addr);
+    }
 
     L1Line *line = l1.find(addr, now);
 
@@ -564,6 +679,8 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
             res.latency += otLatency_ + pendingEvictCost_;
             pendingEvictCost_ = 0;
             ++ctr_.otRefills;
+            if (auditor_)
+                auditor_->noteEvent(now, "ot_refill", core, addr, 0);
             applyToLine(fr, type, addr, size, buf);
             return res;
         }
@@ -587,6 +704,9 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
                                       [&](CoreId k) {
                                           ctx.cst.rw.set(k);
                                       });
+        if (auditor_)
+            auditor_->noteCstSet(core, CstKind::Rw,
+                                 dir.fwd.threatened);
     } else if (type == AccessType::TStore) {
         ConflictSummaryTable::forEach(dir.fwd.threatened,
                                       [&](CoreId k) {
@@ -596,6 +716,12 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
                                       [&](CoreId k) {
                                           ctx.cst.wr.set(k);
                                       });
+        if (auditor_) {
+            auditor_->noteCstSet(core, CstKind::Ww,
+                                 dir.fwd.threatened);
+            auditor_->noteCstSet(core, CstKind::Wr,
+                                 dir.fwd.exposedRead);
+        }
     }
 
     L2Line *l2l = dir.line;
@@ -685,8 +811,8 @@ MemorySystem::access(CoreId core, AccessType type, Addr addr,
 }
 
 CasOutcome
-MemorySystem::cas(CoreId core, Addr addr, std::uint64_t expected,
-                  std::uint64_t desired, unsigned size, Cycles now)
+MemorySystem::casImpl(CoreId core, Addr addr, std::uint64_t expected,
+                      std::uint64_t desired, unsigned size, Cycles now)
 {
     sim_assert(size == 4 || size == 8);
     L1Cache &l1 = *l1s_[core];
@@ -727,9 +853,10 @@ MemorySystem::cas(CoreId core, Addr addr, std::uint64_t expected,
 }
 
 CommitResult
-MemorySystem::casCommit(CoreId core, Addr tsw_addr,
-                        std::uint32_t expected, std::uint32_t desired,
-                        Cycles now, bool check_csts)
+MemorySystem::casCommitImpl(CoreId core, Addr tsw_addr,
+                            std::uint32_t expected,
+                            std::uint32_t desired, Cycles now,
+                            bool check_csts)
 {
     HwContext &ctx = contexts_[core];
     CommitResult res;
@@ -745,12 +872,12 @@ MemorySystem::casCommit(CoreId core, Addr tsw_addr,
         return res;
     }
 
-    CasOutcome c = cas(core, tsw_addr, expected, desired, 4, now);
+    CasOutcome c = casImpl(core, tsw_addr, expected, desired, 4, now);
     res.latency += c.latency;
 
     if (!c.success) {
         // We lost a race with an enemy's abort: discard speculation.
-        res.latency += abortTx(core, now);
+        res.latency += abortTxImpl(core, now);
         res.outcome = CommitOutcome::FailedAborted;
         ++ctr_.commitFailedAborted;
         return res;
@@ -789,7 +916,7 @@ MemorySystem::casCommit(CoreId core, Addr tsw_addr,
 }
 
 Cycles
-MemorySystem::abortTx(CoreId core, Cycles now)
+MemorySystem::abortTxImpl(CoreId core, Cycles now)
 {
     (void)now;
     HwContext &ctx = contexts_[core];
@@ -801,11 +928,11 @@ MemorySystem::abortTx(CoreId core, Cycles now)
 }
 
 Cycles
-MemorySystem::aload(CoreId core, Addr addr, Cycles now)
+MemorySystem::aloadImpl(CoreId core, Addr addr, Cycles now)
 {
     std::uint8_t dummy[8];
-    MemResult r = access(core, AccessType::Load, lineAlign(addr), 8,
-                         dummy, now);
+    MemResult r = accessImpl(core, AccessType::Load, lineAlign(addr),
+                             8, dummy, now);
     L1Line *line = l1s_[core]->probe(addr);
     if (!line || !line->valid()) {
         // The plain load was answered uncached because the line is
@@ -842,7 +969,7 @@ MemorySystem::arelease(CoreId core, Addr addr)
 }
 
 Cycles
-MemorySystem::flushTransactionalState(CoreId core, Cycles now)
+MemorySystem::flushTransactionalStateImpl(CoreId core, Cycles now)
 {
     (void)now;
     Cycles lat = cfg_.l1HitLatency;

@@ -45,6 +45,7 @@
 #include "mem/l1_cache.hh"
 #include "mem/l2_cache.hh"
 #include "mem/protocol.hh"
+#include "sim/auditor.hh"
 #include "sim/config.hh"
 #include "sim/flat_map.hh"
 #include "sim/sim_memory.hh"
@@ -170,6 +171,11 @@ class MemorySystem
     /** Attach a fault plan (forced TMI evictions on access). */
     void setFaultPlan(FaultPlan *p) { fault_ = p; }
 
+    /** The cross-layer state auditor; null when MachineConfig::auditor
+     *  is Off (the protocol engine then pays only a pointer test per
+     *  operation). */
+    StateAuditor *auditor() { return auditor_.get(); }
+
   private:
     /** Aggregated effects of forwarding one request to all targets. */
     struct ForwardSummary
@@ -263,6 +269,24 @@ class MemorySystem
     MissHook missHook_;
     Cycles otLatency_;
     FaultPlan *fault_ = nullptr;
+    std::unique_ptr<StateAuditor> auditor_;
+
+    /** @name Auditor-wrapped protocol-operation bodies
+     *  The public entry points log one trace-ring event, run the
+     *  body, and close with a transition checkpoint. */
+    /// @{
+    MemResult accessImpl(CoreId core, AccessType type, Addr addr,
+                         unsigned size, void *buf, Cycles now);
+    CasOutcome casImpl(CoreId core, Addr addr, std::uint64_t expected,
+                       std::uint64_t desired, unsigned size, Cycles now);
+    CommitResult casCommitImpl(CoreId core, Addr tsw_addr,
+                               std::uint32_t expected,
+                               std::uint32_t desired, Cycles now,
+                               bool check_csts);
+    Cycles abortTxImpl(CoreId core, Cycles now);
+    Cycles aloadImpl(CoreId core, Addr addr, Cycles now);
+    Cycles flushTransactionalStateImpl(CoreId core, Cycles now);
+    /// @}
 
     /** Latency accumulated by eviction handlers during the current
      *  operation (writebacks, OT spills); folded into the result. */

@@ -51,9 +51,18 @@ void
 TxOs::suspend(FlexTmThread &t)
 {
     sim_assert(!isSuspended(t), "double suspend");
+    // Deliver-or-abort: a pending alert must be taken before the
+    // transaction parks.  The suspend path tears the AOU watch down
+    // and resume only consults the (virtualized) TSW - which a
+    // strong-isolation abort never writes - so an alert parked here
+    // would be silently discarded and the transaction would resume
+    // unserializably.
+    t.osDeliverAlert();  // may throw TxAbort
     Suspended s;
     s.thread = &t;
     s.core = t.core();
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteSuspend(t.core());
     // Snapshot and install the summary signatures FIRST: while the
     // hardware state is being spilled/cleared (which takes time),
     // conflicting remote accesses must already be caught at the
@@ -62,7 +71,37 @@ TxOs::suspend(FlexTmThread &t)
     t.osSnapshot(s.saved);
     suspended_.push_back(std::move(s));
     recomputeSummaries();
-    t.osDetach();
+    try {
+        // Merge the CST bits the live registers accumulated between
+        // the snapshot above and the end of the spill (responders
+        // keep setting them while the flush runs) into the saved
+        // descriptor.  Look the entry up again: the spill yields, so
+        // other threads may have grown suspended_ meanwhile.
+        const CstSet live = t.osDetach();
+        for (auto &e : suspended_) {
+            if (e.thread == &t) {
+                e.saved.cst.rw.unionWith(live.rw);
+                e.saved.cst.wr.unionWith(live.wr);
+                e.saved.cst.ww.unionWith(live.ww);
+            }
+        }
+        // An alert raised during the spill window is equally
+        // deliver-or-abort.
+        t.osDeliverAlert();
+    } catch (...) {
+        for (auto it = suspended_.begin(); it != suspended_.end();
+             ++it) {
+            if (it->thread == &t) {
+                suspended_.erase(it);
+                break;
+            }
+        }
+        recomputeSummaries();
+        throw;
+    }
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->checkpoint(AuditScope::Switch, m_.scheduler().now(),
+                      "os_suspend");
     FTRACE(Os, m_.scheduler().now(), "suspend tx on core%u (%zu now "
            "suspended)", t.core(), suspended_.size());
 }
@@ -85,7 +124,12 @@ TxOs::resume(FlexTmThread &t)
         const FlexTmThread::OsSavedState saved = std::move(it->saved);
         suspended_.erase(it);
         recomputeSummaries();
+        if (StateAuditor *a = m_.memsys().auditor())
+            a->noteResume(t.core());
         t.osRestore(saved);  // may throw TxAbort
+        if (StateAuditor *a = m_.memsys().auditor())
+            a->checkpoint(AuditScope::Switch, m_.scheduler().now(),
+                          "os_resume");
         return;
     }
     panic("resume of a thread that is not suspended");
@@ -154,17 +198,30 @@ TxOs::missHook(CoreId requestor, ReqType t, Addr addr, Cycles now)
                 // Threatened/uncached path (mc.threatened above) -
                 // reads never abort writers (Section 3.5).
                 s.saved.cst.wr.set(requestor);
-                if (req_ctx.inTx)
+                if (req_ctx.inTx) {
                     req_ctx.cst.rw.set(s.core);
+                    if (StateAuditor *a = m_.memsys().auditor())
+                        a->noteCstSet(requestor, CstKind::Rw,
+                                      std::uint64_t{1} << s.core,
+                                      /*symmetric=*/false);
+                }
             }
             break;
           case ReqType::TGETX:
             if (sw) {
                 s.saved.cst.ww.set(requestor);
                 req_ctx.cst.ww.set(s.core);
+                if (StateAuditor *a = m_.memsys().auditor())
+                    a->noteCstSet(requestor, CstKind::Ww,
+                                  std::uint64_t{1} << s.core,
+                                  /*symmetric=*/false);
             } else if (sr) {
                 s.saved.cst.rw.set(requestor);
                 req_ctx.cst.wr.set(s.core);
+                if (StateAuditor *a = m_.memsys().auditor())
+                    a->noteCstSet(requestor, CstKind::Wr,
+                                  std::uint64_t{1} << s.core,
+                                  /*symmetric=*/false);
             }
             if (req_ctx.inTx &&
                 req_ctx.mode == ConflictMode::Eager) {

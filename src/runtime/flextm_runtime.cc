@@ -79,6 +79,12 @@ FlexTmThread::beginTx()
     g_.karma[core_] = m_.progress().bonusKarma(tid_);
     txConflictMask_ = 0;
 
+    // Duality (auditor invariant I5) only holds while commit/abort
+    // retire our bits from remote CSTs, i.e. with self-clean on.
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteTxBegin(core_, tid_, tswAddr_, TswActive,
+                       g_.cstSelfClean);
+
     // Register checkpointing: spill of local registers to the stack
     // (the paper's main remaining software overhead; Section 7.3).
     work(25);
@@ -94,6 +100,13 @@ FlexTmThread::checkAlert()
         return;
     const AlertCause cause = c.aou.lastCause();
     c.aou.acknowledge();
+    // Until the watch is re-established below, the marked TSW line
+    // may legitimately be uncached with no pending alert; suppress
+    // the auditor's AOU-liveness check for the handler window.  (On
+    // the throwing paths the flag is cleared by noteTxEnd.)
+    StateAuditor *auditor = m_.memsys().auditor();
+    if (auditor)
+        auditor->noteSettling(core_, true);
 
     if (strongAborted_) {
         ++g_.siAborts;
@@ -108,6 +121,8 @@ FlexTmThread::checkAlert()
         // The marked line was evicted; re-establish the watch.
         charge(m_.memsys().aload(core_, tswAddr_, m_.scheduler().now()));
     }
+    if (auditor)
+        auditor->noteSettling(core_, false);
 }
 
 void
@@ -187,6 +202,14 @@ FlexTmThread::commitTx()
     HwContext &c = ctx();
     checkAlert();
 
+    // From the first copy-and-clear until CAS-Commit resolves, our
+    // registers are empty while un-killed victims still hold their
+    // reciprocal bits: a legal asymmetry the auditor must not flag.
+    // Every exit path funnels through noteTxEnd, which resets the
+    // settling depth.
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteSettling(core_, true);
+
     // The Commit() routine of Figure 3: non-blocking, entirely local.
     for (;;) {
         // Serial-irrevocable fallback: a peer running under the
@@ -231,6 +254,16 @@ FlexTmThread::commitTx()
             if (g_.abortSuspended)
                 g_.abortSuspended(*this, k);
         });
+
+        // The kill loop above yields once per enemy CAS; a plain
+        // (non-transactional) writer may have hit our signatures in
+        // one of those windows and demanded our abort via an AOU
+        // alert - without ever touching our TSW.  Drain such alerts
+        // here, or the CAS-Commit below would publish a transaction
+        // that strong isolation already ordered after the plain
+        // write's pre-transactional view.
+        while (c.aou.alertPending())
+            checkAlert();
 
         // 4. CAS-Commit our own status word
         CommitResult cr = m_.memsys().casCommit(
@@ -326,6 +359,8 @@ FlexTmThread::resetHwTxState()
     g_.tswOf[core_] = 0;
     g_.karma[core_] = 0;
     strongAborted_ = false;
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteTxEnd(core_);
 }
 
 void
@@ -338,7 +373,7 @@ FlexTmThread::osSnapshot(OsSavedState &out)
     out.cst = c.cst;
 }
 
-void
+CstSet
 FlexTmThread::osDetach()
 {
     HwContext &c = ctx();
@@ -356,16 +391,56 @@ FlexTmThread::osDetach()
 
     // The abort instruction then clears the hardware state; the OT
     // keeps the speculative values (it lives in virtual memory).
+    // The CST registers are consumed with copy-and-clear and handed
+    // back to the OS: responders kept setting bits in them while the
+    // multi-cycle flush above ran, and a plain clear here would
+    // erase those conflict records before the OS merges the live
+    // registers into the saved descriptor.
     c.rsig.clear();
     c.wsig.clear();
-    c.cst.clearAll();
+    CstSet live;
+    live.rw.setRaw(c.cst.rw.copyAndClear());
+    live.wr.setRaw(c.cst.wr.copyAndClear());
+    live.ww.setRaw(c.cst.ww.copyAndClear());
     m_.memsys().arelease(core_, tswAddr_);
-    c.aou.acknowledge();
+    // Deliberately NOT acknowledging a pending alert: an alert that
+    // raced the suspend (strong isolation never touches our TSW)
+    // must survive to the caller's deliver-or-abort pass, or the
+    // transaction would resume unserializably.
     c.ot = nullptr;
     c.inTx = false;
     g_.tswOf[core_] = 0;
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteTxEnd(core_);
     work(60);  // OS save path
     ++m_.stats().counter("os.suspends");
+    return live;
+}
+
+void
+FlexTmThread::osDeliverAlert()
+{
+    HwContext &c = ctx();
+    if (!c.aou.alertPending())
+        return;
+    const AlertCause cause = c.aou.lastCause();
+    c.aou.acknowledge();
+    StateAuditor *auditor = m_.memsys().auditor();
+    if (auditor)
+        auditor->noteSettling(core_, true);
+    if (strongAborted_) {
+        ++g_.siAborts;
+        throw TxAbort{};
+    }
+    const auto tsw =
+        static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
+    if (tsw == TswAborted)
+        throw TxAbort{};
+    // A capacity alert is dropped: the watch is torn down across the
+    // switch anyway and osRestore re-ALoads an active TSW.  Settling
+    // deliberately stays on: the TSW stays marked-but-unwatched until
+    // the detach (whose noteTxEnd clears the flag) completes.
+    (void)cause;
 }
 
 void
@@ -390,6 +465,20 @@ FlexTmThread::osRestore(const OsSavedState &in)
     if (tsw != TswActive)
         throw TxAbort{};
     charge(m_.memsys().aload(core_, tswAddr_, m_.scheduler().now()));
+    if (StateAuditor *a = m_.memsys().auditor()) {
+        // Re-register with CST tracking off: peers that committed
+        // while we were parked cleaned their bits from the *saved*
+        // registers' hardware home, not the descriptor we just
+        // restored, so one-sided stale bits are legal here.  Seed
+        // the conflict history from the restored registers.
+        a->noteTxBegin(core_, tid_, tswAddr_, TswActive, false);
+        a->noteCstSet(core_, CstKind::Rw, c.cst.rw.raw(),
+                      /*symmetric=*/false);
+        a->noteCstSet(core_, CstKind::Wr, c.cst.wr.raw(),
+                      /*symmetric=*/false);
+        a->noteCstSet(core_, CstKind::Ww, c.cst.ww.raw(),
+                      /*symmetric=*/false);
+    }
     ++m_.stats().counter("os.resumes");
 }
 

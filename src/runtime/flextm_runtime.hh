@@ -125,9 +125,18 @@ class FlexTmThread : public TxThread
     /** Copy sigs + CSTs into the descriptor (instantaneous). */
     void osSnapshot(OsSavedState &out);
     /** Spill TMI lines to the OT and clear the hardware state (the
-     *  abort instruction); takes simulated time. */
-    void osDetach();
+     *  abort instruction); takes simulated time.  Returns the CST
+     *  registers consumed at the end of the spill so the OS can
+     *  merge conflict records that arrived after osSnapshot into the
+     *  saved descriptor. */
+    CstSet osDetach();
     void osRestore(const OsSavedState &in);
+    /** Deliver-or-abort: take a pending AOU alert now (throwing
+     *  TxAbort if it demands one) instead of parking it.  Used by
+     *  the OS around suspend, where the alert flag would otherwise
+     *  be lost - strong-isolation aborts never write the TSW that
+     *  osRestore consults. */
+    void osDeliverAlert();
     /// @}
 
   protected:

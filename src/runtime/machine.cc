@@ -14,6 +14,10 @@ Machine::Machine(const MachineConfig &cfg)
                                cfg_.signatureBits,
                                cfg_.signatureHashes);
     }
+    // Environment override so existing harnesses (fuzz, fault sweep,
+    // goldens) can be audited without a config plumbing change:
+    // FLEXTM_AUDITOR=off|switch|txn|transition.
+    cfg_.auditor = envAuditLevel(cfg_.auditor);
     memsys_ =
         std::make_unique<MemorySystem>(cfg_, mem_, contexts_, stats_);
     fault_.configure(cfg_.fault, cfg_.seed);

@@ -75,7 +75,16 @@ class Machine
 
     /** Attached serializability oracle (null unless a harness set one). */
     TxOracle *oracle() { return oracle_; }
-    void setOracle(TxOracle *o) { oracle_ = o; }
+
+    void
+    setOracle(TxOracle *o)
+    {
+        oracle_ = o;
+        // The state auditor cross-checks signatures against the
+        // oracle's per-transaction access log when one is recording.
+        if (StateAuditor *a = memsys_->auditor())
+            a->setOracle(o);
+    }
 
     /** Deterministic per-purpose seed derivation. */
     std::uint64_t

@@ -86,6 +86,10 @@ RtmfThread::beginTx()
     g_.tswOf[core_] = tswAddr_;
     // Starvation escalation: carry consecutive-abort karma forward.
     g_.karma[core_] = m_.progress().bonusKarma(tid_);
+    // RTM-F has no CSTs, so duality checks do not apply.
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteTxBegin(core_, tid_, tswAddr_, TswActive,
+                       /*tracks_csts=*/false);
     work(25);  // register checkpoint
 }
 
@@ -98,6 +102,13 @@ RtmfThread::checkAlert()
     const Addr alert_addr = c.aou.lastAddr();
     const AlertCause cause = c.aou.lastCause();
     c.aou.acknowledge();
+    // Between this acknowledge and the re-ALoads below, watched
+    // header lines are legitimately uncached with no pending alert;
+    // suppress the auditor's AOU-liveness check for the window.  (On
+    // the throwing paths the flag is cleared by noteTxEnd.)
+    StateAuditor *auditor = m_.memsys().auditor();
+    if (auditor)
+        auditor->noteSettling(core_, true);
 
     if (strongAborted_)
         throw TxAbort{};
@@ -126,6 +137,8 @@ RtmfThread::checkAlert()
     // self-abort; an aborted one restores the old word and we live.
     ++m_.stats().counter("rtmf.read_conflicts");
     revalidateReadHeaders();
+    if (auditor)
+        auditor->noteSettling(core_, false);
 }
 
 void
@@ -194,12 +207,30 @@ RtmfThread::openForRead(Addr a)
     // land after this reader has already drained alerts and
     // CAS-committed a doomed read.
     std::uint64_t h;
-    for (;;) {
-        charge(m_.memsys().aload(core_, header, m_.scheduler().now()));
-        h = plainRead(header, 8);
-        if (!isLocked(h) || lockOwner(h) == core_)
-            break;
-        resolveOwner(header);
+    try {
+        for (;;) {
+            charge(m_.memsys().aload(core_, header,
+                                     m_.scheduler().now()));
+            h = plainRead(header, 8);
+            if (!isLocked(h) || lockOwner(h) == core_)
+                break;
+            // The sampled word is discarded (the loop re-ALoads and
+            // re-samples after resolution), so don't hold the watch
+            // through conflict resolution: its alert handler could
+            // consume this header's own alert and re-arm only
+            // readHeaders_ entries, leaving a dark mark - and an
+            // abort thrown by resolution would leak it outright.
+            m_.memsys().arelease(core_, header);
+            resolveOwner(header);
+        }
+    } catch (...) {
+        // The watch went live before the throw, but the header is
+        // not in readHeaders_ yet, so abortCleanup's releaseAll
+        // would never retire it: the orphaned mark survives into the
+        // next transaction and decays into a spurious - or, once the
+        // cached copy is invalidated, an undeliverable - alert.
+        m_.memsys().arelease(core_, header);
+        throw;
     }
     readHeaders_.emplace(header, h);
     ++g_.karma[core_];
@@ -283,6 +314,10 @@ RtmfThread::commitTx()
         checkAlert();
     // PDI flash commit via CAS-Commit, without the CST check (RTM-F
     // has no CSTs).
+    // From the CAS-Commit on, flash commit/abort drops TI header
+    // lines without alerts while their watches are still marked.
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteSettling(core_, true);
     CommitResult cr = m_.memsys().casCommit(core_, tswAddr_, TswActive,
                                             TswCommitted,
                                             m_.scheduler().now(),
@@ -304,6 +339,8 @@ RtmfThread::commitTx()
     c.inTx = false;
     g_.tswOf[core_] = 0;
     g_.karma[core_] = 0;
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteTxEnd(core_);
     return true;
 }
 
@@ -327,6 +364,11 @@ RtmfThread::injectRemoteAbort()
 void
 RtmfThread::abortCleanup()
 {
+    // The flash abort below drops TI header lines without alerts
+    // while their watches are still marked; releaseAll() then
+    // retires the marks one plain write at a time.
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteSettling(core_, true);
     charge(m_.memsys().abortTx(core_, m_.scheduler().now()));
     releaseAll(false);
     HwContext &c = ctx();
@@ -340,6 +382,8 @@ RtmfThread::abortCleanup()
     g_.tswOf[core_] = 0;
     g_.karma[core_] = 0;
     strongAborted_ = false;
+    if (StateAuditor *a = m_.memsys().auditor())
+        a->noteTxEnd(core_);
 }
 
 } // namespace flextm

@@ -370,6 +370,9 @@ TxThread::txn(const std::function<void()> &body)
             deferredFrees_.clear();
             ++commits_;
             ++ctr_.txCommits;
+            if (StateAuditor *a = m_.memsys().auditor())
+                a->checkpoint(AuditScope::TxnBoundary,
+                              m_.scheduler().now(), "tx_commit");
             return;
         }
         if (oracle)
@@ -382,6 +385,9 @@ TxThread::txn(const std::function<void()> &body)
         ++aborts_;
         ++ctr_.txAborts;
         abortCleanup();
+        if (StateAuditor *a = m_.memsys().auditor())
+            a->checkpoint(AuditScope::TxnBoundary,
+                          m_.scheduler().now(), "tx_abort");
         ++attempt_;
         if (onAbortYield_)
             onAbortYield_();

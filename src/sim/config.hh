@@ -59,6 +59,21 @@ struct ProgressConfig
     Cycles watchdogCycles = 5'000'000;
 };
 
+/**
+ * Cross-layer state-auditor checkpoint granularity (see
+ * src/sim/auditor.hh).  Each level includes everything the cheaper
+ * levels check; the knob exists because a full-machine sweep at every
+ * protocol transition is affordable in targeted debug runs but not in
+ * the big sweeps.
+ */
+enum class AuditLevel : unsigned
+{
+    Off = 0,        //!< auditor not constructed (zero overhead)
+    SwitchOnly,     //!< sweep at OS suspend/resume only
+    TxnBoundary,    //!< + sweep at every commit/abort
+    Transition,     //!< + sweep after every protocol transaction
+};
+
 /** Static description of the simulated CMP. */
 struct MachineConfig
 {
@@ -103,6 +118,10 @@ struct MachineConfig
 
     /** Fault-injection plan (all off by default). */
     FaultConfig fault;
+
+    /** Cross-layer invariant auditor (off by default; the
+     *  FLEXTM_AUDITOR environment variable can override). */
+    AuditLevel auditor = AuditLevel::Off;
 
     /** Forward-progress policy (escalation on by default). */
     ProgressConfig progress;

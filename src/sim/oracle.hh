@@ -91,6 +91,23 @@ class TxOracle
      *  byte at @p addr, one line each, in stamp order. */
     std::string historyForByte(Addr addr) const;
 
+    /**
+     * State auditor cross-check (invariant I3): visit every op the
+     * open transaction of @p tid has recorded so far as
+     * fn(is_write, addr, size).  No-op when @p tid has no open
+     * transaction.
+     */
+    template <typename Fn>
+    void
+    forEachOpenOp(ThreadId tid, Fn fn) const
+    {
+        const auto it = open_.find(tid);
+        if (it == open_.end())
+            return;
+        for (const auto &op : it->second.ops)
+            fn(op.isWrite, op.addr, op.size);
+    }
+
   private:
     struct Op
     {

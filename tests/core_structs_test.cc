@@ -49,12 +49,28 @@ TEST(AouTest, RaiseAndAcknowledge)
     EXPECT_FALSE(aou.alertPending());
 }
 
-TEST(AouTest, ClearDropsMarksAndAlert)
+TEST(AouTest, ClearDropsMarksButKeepsAlert)
 {
+    // clear() models the context-switch teardown of the *watch* set;
+    // a raised-but-undelivered alert must survive it, or the thread
+    // would resume oblivious to an abort demand (strong-isolation
+    // aborts never write the TSW the resume path consults).
     AouController aou;
     aou.aload(0x4000);
     aou.raise(AlertCause::Capacity, 0x4000);
     aou.clear();
+    EXPECT_TRUE(aou.alertPending());
+    EXPECT_EQ(aou.markedCount(), 0u);
+    aou.acknowledge();
+    EXPECT_FALSE(aou.alertPending());
+}
+
+TEST(AouTest, ResetDropsMarksAndAlert)
+{
+    AouController aou;
+    aou.aload(0x4000);
+    aou.raise(AlertCause::Capacity, 0x4000);
+    aou.reset();
     EXPECT_FALSE(aou.alertPending());
     EXPECT_EQ(aou.markedCount(), 0u);
 }

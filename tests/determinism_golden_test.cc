@@ -137,7 +137,7 @@ struct Golden
 // Regenerate with FLEXTM_GOLDEN_PRINT=1 (see file comment).
 const Golden kGoldens[] = {
     {RuntimeKind::FlexTmEager, "FlexTmEager",
-     {192, 100, 440, 6428, 8222, 55538, 0x6ba783ad71522b79ull}},
+     {192, 113, 409, 6427, 8180, 57223, 0xe8d41289a93c1d48ull}},
     {RuntimeKind::FlexTmLazy, "FlexTmLazy",
      {192, 65, 399, 6430, 8395, 61978, 0xd8ee008e636797c4ull}},
     {RuntimeKind::Cgl, "Cgl",
@@ -147,7 +147,7 @@ const Golden kGoldens[] = {
     {RuntimeKind::Tl2, "Tl2",
      {192, 83, 152, 6440, 8564, 99209, 0xa15361a7278f097eull}},
     {RuntimeKind::RtmF, "RtmF",
-     {192, 147, 607, 6428, 7911, 132361, 0x9c10d6645094bca4ull}},
+     {192, 91, 691, 6431, 8128, 90821, 0x9fba5d086fd24f6full}},
 };
 
 class DeterminismGolden : public ::testing::TestWithParam<Golden>

@@ -184,6 +184,53 @@ TEST(TxOsTest, StrongIsolationReachesSuspended)
 }
 
 /**
+ * Regression: an AOU alert that races suspension must be delivered
+ * by suspend itself (deliver-or-abort), never dropped with the watch
+ * set.  Strong-isolation aborts signal only through the alert - they
+ * never touch the victim's TSW - so a dropped alert would let the
+ * transaction park, resume, and commit around the plain write.  (The
+ * historical bug: the context-switch teardown used
+ * AouController::clear(), which discarded the pending alert along
+ * with the marks.)
+ */
+TEST(TxOsTest, AlertRacingSuspendAbortsInsteadOfParking)
+{
+    OsRig rig;
+    const Addr cell = rig.m.memory().allocate(lineBytes, lineBytes);
+    auto ta = rig.f.makeThread(0, 0);
+    auto tb = rig.f.makeThread(1, 1);
+    auto *fa = static_cast<FlexTmThread *>(ta.get());
+    SimBarrier read_done(rig.m.scheduler(), 2);
+    SimBarrier write_done(rig.m.scheduler(), 2);
+
+    unsigned a_attempts = 0;
+    rig.m.scheduler().spawn(0, [&] {
+        ta->txn([&] {
+            ++a_attempts;
+            if (a_attempts == 1) {
+                (void)ta->load<std::uint64_t>(cell);
+                read_done.wait();
+                write_done.wait();
+                // The plain write raised an alert on this core; no
+                // transactional op runs between here and the
+                // suspend, so only suspend() itself can deliver it.
+                rig.os.suspend(*fa);
+                ADD_FAILURE() << "suspend should have aborted";
+            }
+        });
+    });
+    rig.m.scheduler().spawn(1, [&] {
+        read_done.wait();
+        tb->store<std::uint64_t>(cell, 5);  // plain write -> alert
+        write_done.wait();
+    });
+    rig.m.run();
+    EXPECT_EQ(a_attempts, 2u);
+    EXPECT_EQ(ta->aborts(), 1u);
+    EXPECT_EQ(rig.os.suspendedCount(), 0u);
+}
+
+/**
  * Regression: a line speculatively written by a *suspended*
  * transaction must keep Threatened semantics - readers may not
  * install a stable cached copy, or the suspended transaction's

@@ -489,6 +489,85 @@ class OverflowProtocolTest : public ProtocolTest
     }
 };
 
+/**
+ * Multiple-owner directory entries under pressure: three cores hold
+ * TMI on the same line, one copy is pushed through the victim buffer
+ * into its overflow table mid-stream, a fourth core's TGETX arrives
+ * while the directory still carries the (sticky) evicted owner, and
+ * the evicted copy refills from the OT.  The owner vector must
+ * accumulate monotonically through all of it - dropping a sticky bit
+ * would let the evicted writer's commit publish unthreatened state.
+ */
+TEST_F(OverflowProtocolTest, MultiOwnerSurvivesEvictionsAndTgetx)
+{
+    OverflowTable ot1{2048, 4}, ot2{2048, 4}, ot3{2048, 4};
+    beginTx(0);
+    installOt(0);  // the fixture's ot
+    beginTx(1);
+    m.context(1).ot = &ot1;
+    beginTx(2);
+    m.context(2).ot = &ot2;
+
+    twr(0, a_, 100);
+    L2Line *l2l = m.memsys().l2().probe(a_);
+    ASSERT_NE(l2l, nullptr);
+    EXPECT_EQ(l2l->dir.owners & 0xfu, 0x1u);
+    twr(1, a_, 200);
+    EXPECT_EQ(l2l->dir.owners & 0xfu, 0x3u);
+    twr(2, a_, 300);
+    EXPECT_EQ(l2l->dir.owners & 0xfu, 0x7u);
+    EXPECT_EQ(state(0, a_), LineState::TMI);
+    EXPECT_EQ(state(1, a_), LineState::TMI);
+    EXPECT_EQ(state(2, a_), LineState::TMI);
+    // Pairwise W-W conflicts recorded on the later writers.
+    EXPECT_TRUE(m.context(1).cst.ww.test(0));
+    EXPECT_TRUE(m.context(2).cst.ww.test(0));
+    EXPECT_TRUE(m.context(2).cst.ww.test(1));
+
+    // Push core 1's copy of the contended line out through the
+    // victim buffer: fill its set with other speculative lines.
+    const unsigned sets = m.memsys().l1(1).sets();
+    const Addr stride = static_cast<Addr>(sets) * lineBytes;
+    const Addr big = m.memory().allocate(65 * stride, 4096);
+    // Fill lines must land in a_'s set or nothing is displaced.
+    const Addr fill =
+        big + ((lineNumber(a_) - lineNumber(big)) & (sets - 1)) *
+                  lineBytes;
+    unsigned filled = 0;
+    while (state(1, a_) == LineState::TMI && filled < 64) {
+        twr(1, fill + filled * stride, 5000 + filled);
+        ++filled;
+    }
+    ASSERT_EQ(state(1, a_), LineState::I)
+        << "could not force the eviction";
+    EXPECT_TRUE(ot1.mayContain(a_));
+    // The directory's owner bit for the evicted copy is sticky.
+    l2l = m.memsys().l2().probe(a_);
+    ASSERT_NE(l2l, nullptr);
+    EXPECT_EQ(l2l->dir.owners & 0xfu, 0x7u);
+
+    // Mid-stream TGETX from a fourth core: cached AND evicted owners
+    // must all threaten it (the evicted one through its Wsig).
+    beginTx(3);
+    m.context(3).ot = &ot3;
+    const MemResult r = twr(3, a_, 400);
+    EXPECT_TRUE(r.hasConflict());
+    EXPECT_TRUE(m.context(3).cst.ww.test(0));
+    EXPECT_TRUE(m.context(3).cst.ww.test(1));
+    EXPECT_TRUE(m.context(3).cst.ww.test(2));
+    EXPECT_EQ(l2l->dir.owners & 0xfu, 0xfu);
+    EXPECT_EQ(state(3, a_), LineState::TMI);
+    // Existing cached copies survive (multiple TMI owners coexist).
+    EXPECT_EQ(state(0, a_), LineState::TMI);
+    EXPECT_EQ(state(2, a_), LineState::TMI);
+
+    // Refill core 1's speculative copy from its OT: value intact,
+    // owner vector unchanged.
+    EXPECT_EQ(trd(1, a_), 200u);
+    EXPECT_EQ(state(1, a_), LineState::TMI);
+    EXPECT_EQ(l2l->dir.owners & 0xfu, 0xfu);
+}
+
 TEST_F(OverflowProtocolTest, TmiEvictionSpillsToOt)
 {
     // 2 ways + 32 victim entries: 40 TMI lines in one set overflow.

@@ -365,6 +365,87 @@ TEST(RtmfRuntime, HeaderAlertAbortsStaleReader)
     EXPECT_GE(m.stats().counterValue("rtmf.read_conflicts"), 1u);
 }
 
+/** Regression: an abort thrown inside openForRead's conflict
+ *  resolution - after the header's AOU watch went live but before the
+ *  header reached the read set - must retire the watch on the way
+ *  out.  The mark used to leak into the next transaction (releaseAll
+ *  only walks readHeaders_), where it decayed into a spurious or
+ *  undeliverable alert; the state auditor's I7 sweep caught it in the
+ *  fault sweep. */
+TEST(RtmfRuntime, AbortDuringOpenForReadReleasesHeaderWatch)
+{
+    Machine m(cfg4());
+    RuntimeFactory f(m, RuntimeKind::RtmF);
+    const Addr probe = m.memory().allocate(lineBytes, lineBytes);
+    const Addr cell = m.memory().allocate(lineBytes, lineBytes);
+    Addr pads[8];
+    for (Addr &p : pads)
+        p = m.memory().allocate(lineBytes, lineBytes);
+    auto ta = f.makeThread(0, 0);
+    auto tb = f.makeThread(1, 1);
+    auto tc = f.makeThread(2, 2);
+    SimBarrier locked(m.scheduler(), 3);
+    SimBarrier a_aborted(m.scheduler(), 2);
+    SimBarrier released(m.scheduler(), 2);
+
+    unsigned a_attempts = 0;
+    m.scheduler().spawn(0, [&] {
+        ta->txn([&] {
+            ++a_attempts;
+            if (a_attempts == 1) {
+                // probe joins the read set so a remote plain write
+                // can strong-abort us at a precise moment.
+                (void)ta->load<std::uint64_t>(probe);
+                locked.wait();
+                // B holds cell's header: openForRead ALoads the
+                // header, finds it locked, and spins in resolveOwner,
+                // where core 2's poison write aborts us mid-open.
+                (void)ta->load<std::uint64_t>(cell);
+                ADD_FAILURE()
+                    << "open of a locked header should have aborted";
+                return;
+            }
+            // The mid-open watch must have died with the abort: only
+            // the TSW's watch survives into the retry.
+            EXPECT_EQ(m.context(0).aou.markedCount(), 1u);
+            a_aborted.wait();
+            released.wait();
+            EXPECT_EQ(ta->load<std::uint64_t>(cell), 3u);
+        });
+    });
+    unsigned b_attempts = 0;
+    m.scheduler().spawn(1, [&] {
+        tb->txn([&] {
+            ++b_attempts;
+            // Karma padding: a fat priority deficit pins A's Polka
+            // patience at the cap, so it backs off (instead of
+            // killing us) long enough for the poison write to land.
+            for (Addr p : pads)
+                tb->store<std::uint64_t>(p, 1);
+            tb->store<std::uint64_t>(cell, 3);  // acquires the header
+            if (b_attempts == 1) {
+                locked.wait();
+                a_aborted.wait();  // hold the lock until A has died
+            }
+        });
+        released.wait();
+    });
+    m.scheduler().spawn(2, [&] {
+        locked.wait();
+        // Land after A's pre-open alert check but well inside its
+        // back-off (patience is >= 500 cycles with the deficit).
+        tc->work(60);
+        tc->store<std::uint64_t>(probe, 99);  // plain write -> alert
+    });
+    m.run();
+    EXPECT_EQ(a_attempts, 2u);
+    EXPECT_EQ(ta->commits(), 1u);
+    EXPECT_EQ(tb->commits(), 1u);
+    // No watch outlives its transaction on any core.
+    EXPECT_EQ(m.context(0).aou.markedCount(), 0u);
+    EXPECT_EQ(m.context(1).aou.markedCount(), 0u);
+}
+
 /** PDI means RTM-F never copies: speculative data sits in TMI lines
  *  until CAS-Commit publishes it. */
 TEST(RtmfRuntime, UsesPdiForVersioning)
