@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Memory-backend sensitivity sweep (companion to EXPERIMENTS.md's
+ * memory-sensitivity section).
+ *
+ * The paper's evaluation models main memory as a flat latency
+ * (Table 3a).  This harness re-runs representative workloads with
+ * the banked DRAM backend to show how much of the TM story that
+ * abstraction hides: row-buffer locality, FR-FCFS vs strict FCFS
+ * arbitration, channel parallelism, and row size all move throughput,
+ * while the *relative* runtime ordering should stay recognizable.
+ *
+ * For each workload, each row is one backend variant at a fixed
+ * thread count; throughput is normalized to the flat-latency backend
+ * of the same workload, and the DRAM columns report the row-buffer
+ * hit rate and refresh count that explain the delta.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flextm;
+using namespace flextm::bench;
+
+namespace
+{
+
+struct MemVariant
+{
+    const char *name;
+    void (*apply)(MachineConfig &);
+};
+
+const MemVariant kVariants[] = {
+    {"fixed", [](MachineConfig &) {}},
+    {"dram",
+     [](MachineConfig &m) { m.memBackend = MemBackendKind::Dram; }},
+    {"dram-fcfs",
+     [](MachineConfig &m) {
+         m.memBackend = MemBackendKind::Dram;
+         m.dram.frfcfs = false;
+     }},
+    {"dram-1ch",
+     [](MachineConfig &m) {
+         m.memBackend = MemBackendKind::Dram;
+         m.dram.channels = 1;
+     }},
+    {"dram-512B-row",
+     [](MachineConfig &m) {
+         m.memBackend = MemBackendKind::Dram;
+         m.dram.rowBytes = 512;
+     }},
+};
+
+struct MemCell
+{
+    double throughput = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t refreshes = 0;
+};
+
+MemCell
+runCell(WorkloadKind wk, RuntimeKind rk, unsigned threads,
+        const MemVariant &v)
+{
+    MemCell acc;
+    for (unsigned s = 1; s <= benchSeeds; ++s) {
+        ExperimentOptions o = defaultOptions(wk, threads, s);
+        v.apply(o.machine);
+        o.inspect = [&acc](Machine &m) {
+            acc.reads += m.stats().counterValue("dram.reads");
+            acc.writes += m.stats().counterValue("dram.writes");
+            acc.rowHits += m.stats().counterValue("dram.row_hits");
+            acc.refreshes +=
+                m.stats().counterValue("dram.refreshes");
+        };
+        acc.throughput +=
+            runExperiment(wk, rk, o).throughput / benchSeeds;
+    }
+    return acc;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<WorkloadKind> workloads = {
+        WorkloadKind::HashTable, WorkloadKind::RBTree,
+        WorkloadKind::LFUCache};
+    constexpr unsigned threads = 8;
+    const RuntimeKind rk = RuntimeKind::FlexTmEager;
+
+    std::printf("Memory-backend sensitivity (FlexTM-Eager, %u "
+                "threads, x fixed-latency backend)\n",
+                threads);
+
+    for (WorkloadKind wk : workloads) {
+        std::printf("\n%s\n%14s %14s %14s %14s %14s %14s\n",
+                    workloadKindName(wk), "backend", "throughput",
+                    "row-hit %", "reads", "writes", "refreshes");
+        const double base =
+            runCell(wk, rk, threads, kVariants[0]).throughput;
+        for (const MemVariant &v : kVariants) {
+            const MemCell c = runCell(wk, rk, threads, v);
+            const double accesses =
+                static_cast<double>(c.reads + c.writes);
+            std::printf("%14s", v.name);
+            std::printf(" %14.2f", base > 0 ? c.throughput / base : 0);
+            std::printf(" %14.1f",
+                        accesses > 0 ? 100.0 * c.rowHits / accesses
+                                     : 0.0);
+            std::printf(" %14llu %14llu %14llu\n",
+                        (unsigned long long)c.reads,
+                        (unsigned long long)c.writes,
+                        (unsigned long long)c.refreshes);
+        }
+    }
+    return 0;
+}

@@ -23,6 +23,11 @@
  * from the baseline's is measuring different work (a red flag that a
  * "perf" change altered simulation semantics) and exits nonzero.
  *
+ * One extra cell runs with the banked DRAM backend and is tracked in
+ * its own dram_baseline / dram_current sections (with the same
+ * simulated-work identity check), kept outside the frozen matrix so
+ * the flat-latency trajectory stays comparable across PRs.
+ *
  * --quick runs a 6-cell subset (one workload, one seed per runtime)
  * with no JSON output - the perf-smoke ctest entry, so the harness
  * itself cannot rot.
@@ -63,6 +68,8 @@ struct Cell
     RuntimeKind rk;
     WorkloadKind wk;
     std::uint64_t seed;
+    /** Run with the banked DRAM backend instead of flat latency. */
+    bool dram = false;
 };
 
 struct CellResult
@@ -128,6 +135,8 @@ runCell(const Cell &c)
     opt.threads = kThreads;
     opt.totalOps = kTotalOps;
     opt.quiet = true;
+    if (c.dram)
+        opt.machine.memBackend = MemBackendKind::Dram;
     FaultRunResult r = runFaultedExperiment(c.wk, c.rk, opt);
     CellResult out;
     out.ok = r.report.ok;
@@ -195,20 +204,15 @@ extractNumber(const std::string &text, const std::string &section,
 }
 
 bool
-loadBaseline(const std::string &path, Totals &base)
+loadTotals(const std::string &text, const std::string &section,
+           Totals &base)
 {
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::stringstream ss;
-    ss << in.rdbuf();
-    const std::string text = ss.str();
     double wall = 0, cycles = 0, commits = 0, aborts = 0, ops = 0;
-    if (!extractNumber(text, "baseline", "wall_seconds", wall) ||
-        !extractNumber(text, "baseline", "sim_cycles", cycles) ||
-        !extractNumber(text, "baseline", "commits", commits) ||
-        !extractNumber(text, "baseline", "aborts", aborts) ||
-        !extractNumber(text, "baseline", "checked_ops", ops)) {
+    if (!extractNumber(text, section, "wall_seconds", wall) ||
+        !extractNumber(text, section, "sim_cycles", cycles) ||
+        !extractNumber(text, section, "commits", commits) ||
+        !extractNumber(text, section, "aborts", aborts) ||
+        !extractNumber(text, section, "checked_ops", ops)) {
         return false;
     }
     base.wallSeconds = wall;
@@ -217,6 +221,45 @@ loadBaseline(const std::string &path, Totals &base)
     base.aborts = static_cast<std::uint64_t>(aborts);
     base.checkedOps = static_cast<std::uint64_t>(ops);
     return true;
+}
+
+bool
+readFile(const std::string &path, std::string &text)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+    return true;
+}
+
+/** The simulated-work identity check between a section's baseline
+ *  and its re-measurement (perf must never change semantics). */
+bool
+matrixMatches(const char *what, const Totals &baseline,
+              const Totals &current)
+{
+    if (baseline.commits == current.commits &&
+        baseline.aborts == current.aborts &&
+        baseline.checkedOps == current.checkedOps &&
+        baseline.simCycles == current.simCycles) {
+        return true;
+    }
+    std::fprintf(stderr,
+                 "perf_sim: %s MATRIX MISMATCH vs baseline "
+                 "(commits %llu/%llu aborts %llu/%llu "
+                 "ops %llu/%llu cycles %llu/%llu)\n",
+                 what, (unsigned long long)current.commits,
+                 (unsigned long long)baseline.commits,
+                 (unsigned long long)current.aborts,
+                 (unsigned long long)baseline.aborts,
+                 (unsigned long long)current.checkedOps,
+                 (unsigned long long)baseline.checkedOps,
+                 (unsigned long long)current.simCycles,
+                 (unsigned long long)baseline.simCycles);
+    return false;
 }
 
 void
@@ -297,15 +340,35 @@ main(int argc, char **argv)
                      parallel.wallSeconds);
     }
 
+    // One DRAM-backend cell, tracked beside (not inside) the frozen
+    // 54-cell matrix so the flat-latency trajectory numbers stay
+    // comparable across PRs that predate the backend.
+    const std::vector<Cell> dramCells = {
+        Cell{RuntimeKind::FlexTmEager, WorkloadKind::HashTable, 7000,
+             /*dram=*/true}};
+    Totals dram;
+    if (!runMatrix(dramCells, 1, dram))
+        return 1;
+    std::fprintf(stderr,
+                 "perf_sim: dram cell %.2fs, %llu sim cycles\n",
+                 dram.wallSeconds,
+                 static_cast<unsigned long long>(dram.simCycles));
+
     if (quick) {
         std::fprintf(stderr, "perf_sim: quick mode, no JSON output\n");
         return 0;
     }
 
+    std::string prior;
     Totals baseline;
     bool have_baseline = false;
-    if (!record_baseline)
-        have_baseline = loadBaseline(out_path, baseline);
+    Totals dramBaseline;
+    bool have_dram_baseline = false;
+    if (!record_baseline && readFile(out_path, prior)) {
+        have_baseline = loadTotals(prior, "baseline", baseline);
+        have_dram_baseline =
+            loadTotals(prior, "dram_baseline", dramBaseline);
+    }
     if (!have_baseline) {
         if (!record_baseline)
             std::fprintf(stderr,
@@ -315,25 +378,20 @@ main(int argc, char **argv)
         baseline = serial;
         have_baseline = true;
     }
+    if (!have_dram_baseline) {
+        if (!record_baseline)
+            std::fprintf(stderr,
+                         "perf_sim: no dram baseline in %s; recording "
+                         "this run's dram cell as its baseline\n",
+                         out_path.c_str());
+        dramBaseline = dram;
+        have_dram_baseline = true;
+    }
 
     // Same matrix => same simulated work.  A mismatch means a perf
     // change altered simulation behaviour; fail loudly.
-    if (baseline.commits != serial.commits ||
-        baseline.aborts != serial.aborts ||
-        baseline.checkedOps != serial.checkedOps ||
-        baseline.simCycles != serial.simCycles) {
-        std::fprintf(stderr,
-                     "perf_sim: MATRIX MISMATCH vs baseline "
-                     "(commits %llu/%llu aborts %llu/%llu "
-                     "ops %llu/%llu cycles %llu/%llu)\n",
-                     (unsigned long long)serial.commits,
-                     (unsigned long long)baseline.commits,
-                     (unsigned long long)serial.aborts,
-                     (unsigned long long)baseline.aborts,
-                     (unsigned long long)serial.checkedOps,
-                     (unsigned long long)baseline.checkedOps,
-                     (unsigned long long)serial.simCycles,
-                     (unsigned long long)baseline.simCycles);
+    if (!matrixMatches("flat", baseline, serial) ||
+        !matrixMatches("dram", dramBaseline, dram)) {
         return 1;
     }
 
@@ -354,7 +412,7 @@ main(int argc, char **argv)
     std::fprintf(f, "{\n");
     std::fprintf(f,
                  "  \"bench\": \"perf_sim\",\n"
-                 "  \"schema\": 1,\n"
+                 "  \"schema\": 2,\n"
                  "  \"matrix\": {\n"
                  "    \"runtimes\": 6,\n"
                  "    \"workloads\": 3,\n"
@@ -367,6 +425,8 @@ main(int argc, char **argv)
     writeSection(f, "baseline", baseline, true);
     writeSection(f, "current", serial, true);
     writeSection(f, "current_parallel", parallel, true);
+    writeSection(f, "dram_baseline", dramBaseline, true);
+    writeSection(f, "dram_current", dram, true);
     std::fprintf(f,
                  "  \"speedup_serial\": %.3f,\n"
                  "  \"speedup_best\": %.3f\n"

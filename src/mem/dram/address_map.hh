@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * Line-interleaved across channels for parallelism, column bits next
+ * for row-buffer locality, then bank / rank, row bits on top
+ * (row:rank:bank:column:channel, low to high consumption order):
+ *
+ *     line = addr >> lineShift
+ *     channel = line % channels
+ *     column  = (line / channels) % linesPerRow
+ *     bank    = ... % banksPerRank
+ *     rank    = ... % ranksPerChannel
+ *     row     = the rest
+ *
+ * Consecutive lines spread over all channels; within one channel a
+ * run of linesPerRow * channels consecutive bytes stays in one row,
+ * so streaming workloads see row-buffer hits while independent
+ * working sets land in different banks.
+ */
+
+#ifndef FLEXTM_MEM_DRAM_ADDRESS_MAP_HH
+#define FLEXTM_MEM_DRAM_ADDRESS_MAP_HH
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** One decoded DRAM coordinate. */
+struct DramAddress
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;       //!< bank within its rank
+    unsigned bankIndex = 0;  //!< rank * banksPerRank + bank (per channel)
+    unsigned column = 0;     //!< line slot within the row
+    std::uint64_t row = 0;
+};
+
+/** Decoder for one DramConfig (validated before construction). */
+class DramAddressMap
+{
+  public:
+    explicit DramAddressMap(const DramConfig &cfg)
+        : channels_(cfg.channels), ranks_(cfg.ranksPerChannel),
+          banks_(cfg.banksPerRank),
+          linesPerRow_(
+              static_cast<unsigned>(cfg.rowBytes / lineBytes))
+    {
+        sim_assert(linesPerRow_ >= 1);
+    }
+
+    DramAddress
+    map(Addr addr) const
+    {
+        std::uint64_t line = lineNumber(addr);
+        DramAddress da;
+        da.channel = static_cast<unsigned>(line % channels_);
+        line /= channels_;
+        da.column = static_cast<unsigned>(line % linesPerRow_);
+        line /= linesPerRow_;
+        da.bank = static_cast<unsigned>(line % banks_);
+        line /= banks_;
+        da.rank = static_cast<unsigned>(line % ranks_);
+        line /= ranks_;
+        da.row = line;
+        da.bankIndex = da.rank * banks_ + da.bank;
+        return da;
+    }
+
+    unsigned channels() const { return channels_; }
+    unsigned banksPerChannel() const { return ranks_ * banks_; }
+    unsigned linesPerRow() const { return linesPerRow_; }
+
+  private:
+    unsigned channels_;
+    unsigned ranks_;
+    unsigned banks_;
+    unsigned linesPerRow_;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_MEM_DRAM_ADDRESS_MAP_HH

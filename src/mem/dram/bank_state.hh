@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-bank DRAM state machine (after DRAMsim3's BankState, reduced
+ * to the open/closed-row protocol this simulator needs).
+ *
+ * A bank is either CLOSED or has one OPEN row.  Commands move it
+ * through the cycle
+ *
+ *     ACT(row) -> RD/WR (column accesses, row open) -> PRE -> ...
+ *
+ * and every command carries an earliest-issue constraint derived from
+ * the DramTiming table: tRCD (ACT->column), tRAS (ACT->PRE), tRP
+ * (PRE->ACT, so ACT->ACT >= tRC = tRAS + tRP), tRTP / tWR (column ->
+ * PRE recovery), tCCD (column->column), tRFC (refresh blackout).
+ *
+ * The class is deliberately split into a pure query (earliestIssue)
+ * and a mutator (issue) that sim_asserts protocol legality - issuing
+ * RD on a closed row, ACT over an open row, or any command before its
+ * timing gate is a simulator bug, not a modelled stall.
+ */
+
+#ifndef FLEXTM_MEM_DRAM_BANK_STATE_HH
+#define FLEXTM_MEM_DRAM_BANK_STATE_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace flextm
+{
+
+/** DRAM command set (row, column, and maintenance commands). */
+enum class DramCmd : unsigned
+{
+    Act,  //!< open a row
+    Rd,   //!< column read (row must be open)
+    Wr,   //!< column write (row must be open)
+    Pre,  //!< close the open row
+    Ref   //!< refresh (bank must be closed; blocks for tRFC)
+};
+
+const char *dramCmdName(DramCmd c);
+
+/** One bank's row-buffer state and timing gates. */
+class BankState
+{
+  public:
+    explicit BankState(const DramTiming &t) : t_(&t) {}
+
+    bool rowOpen() const { return openRow_ >= 0; }
+    std::int64_t openRow() const { return openRow_; }
+
+    /**
+     * Earliest cycle >= @p now at which @p c satisfies this bank's
+     * timing gates.  Pure timing: state legality (row open/closed) is
+     * the caller's job and enforced by issue().
+     */
+    Cycles earliestIssue(DramCmd c, Cycles now) const;
+
+    /** Issue @p c at @p at (>= earliestIssue); asserts legality and
+     *  advances the timing gates.  @p row is the target row for Act
+     *  and the expected open row for Rd/Wr (ignored by Pre/Ref). */
+    void issue(DramCmd c, std::int64_t row, Cycles at);
+
+    /** Cycles this bank has spent servicing commands (occupancy
+     *  accounting; the sum of per-command service times). */
+    Cycles busyCycles() const { return busy_; }
+
+  private:
+    const DramTiming *t_;
+    std::int64_t openRow_ = -1;
+    Cycles nextAct_ = 0;  //!< also gates Ref
+    Cycles nextCol_ = 0;  //!< gates Rd and Wr (tRCD / tCCD)
+    Cycles nextPre_ = 0;  //!< gates Pre (tRAS / tRTP / tWR)
+    Cycles busy_ = 0;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_MEM_DRAM_BANK_STATE_HH

@@ -1,0 +1,216 @@
+#include "mem/dram/command_queue.hh"
+
+#include <algorithm>
+
+#include "sim/trace.hh"
+
+namespace flextm
+{
+
+DramStats::DramStats(StatRegistry &s)
+    : reads(s.counter("dram.reads")), writes(s.counter("dram.writes")),
+      rowHits(s.counter("dram.row_hits")),
+      rowMisses(s.counter("dram.row_misses")),
+      rowConflicts(s.counter("dram.row_conflicts")),
+      refreshes(s.counter("dram.refreshes")),
+      windowStalls(s.counter("dram.window_stalls")),
+      wqForwards(s.counter("dram.wq_forwards")),
+      wqDrains(s.counter("dram.wq_drains")),
+      wqStalls(s.counter("dram.wq_stalls")),
+      bankBusyCycles(s.counter("dram.bank_busy_cycles")),
+      queueLatency(s.histogram("dram.queue_latency")),
+      bankOccupancy(s.histogram("dram.bank_occupancy"))
+{
+}
+
+DramChannel::DramChannel(const DramConfig &cfg, DramStats &stats,
+                         unsigned channel)
+    : cfg_(cfg), t_(cfg.timing), stats_(stats), channel_(channel),
+      nextRefresh_(cfg.timing.tREFI)
+{
+    banks_.assign(cfg.ranksPerChannel * cfg.banksPerRank,
+                  BankState(t_));
+    inflight_.reserve(cfg.window);
+    writeQueue_.reserve(cfg.writeQueueDepth);
+}
+
+void
+DramChannel::advanceRefresh(Cycles now)
+{
+    if (t_.tREFI == 0)
+        return;
+    while (nextRefresh_ <= now) {
+        // Close every open row, then refresh all banks together once
+        // the last one is precharged.  Maintenance sequencing is
+        // modelled as a single command-bus slot.
+        Cycles s = std::max(nextRefresh_, nextCmd_);
+        for (BankState &b : banks_) {
+            if (b.rowOpen())
+                b.issue(DramCmd::Pre, -1, b.earliestIssue(DramCmd::Pre, s));
+        }
+        for (const BankState &b : banks_)
+            s = std::max(s, b.earliestIssue(DramCmd::Ref, s));
+        for (BankState &b : banks_)
+            b.issue(DramCmd::Ref, -1, s);
+        nextCmd_ = std::max(nextCmd_, s + cmdCycles);
+        ++stats_.refreshes;
+        FTRACE(Dram, s, "ch%u refresh (blocked until %llu)", channel_,
+               static_cast<unsigned long long>(s + t_.tRFC));
+        nextRefresh_ += t_.tREFI;
+    }
+}
+
+Cycles
+DramChannel::windowFloor(Cycles start)
+{
+    if (inflight_.size() < cfg_.window)
+        return start;
+    // The oldest in-flight transaction must complete before another
+    // may start; its slot is consumed either way.
+    const auto it =
+        std::min_element(inflight_.begin(), inflight_.end());
+    const Cycles floor = *it;
+    inflight_.erase(it);
+    if (floor > start) {
+        ++stats_.windowStalls;
+        return floor;
+    }
+    return start;
+}
+
+void
+DramChannel::windowReserve(Cycles completion)
+{
+    inflight_.push_back(completion);
+}
+
+Cycles
+DramChannel::issueTransaction(const DramAddress &da, bool is_write,
+                              Cycles start)
+{
+    BankState &b = banks_[da.bankIndex];
+    const auto row = static_cast<std::int64_t>(da.row);
+    const Cycles busy_before = b.busyCycles();
+
+    if (b.rowOpen() && b.openRow() == row)
+        ++stats_.rowHits;
+    else if (!b.rowOpen())
+        ++stats_.rowMisses;
+    else
+        ++stats_.rowConflicts;
+
+    Cycles t = start;
+    if (b.rowOpen() && b.openRow() != row) {
+        const Cycles p =
+            std::max(b.earliestIssue(DramCmd::Pre, t), nextCmd_);
+        b.issue(DramCmd::Pre, -1, p);
+        nextCmd_ = p + cmdCycles;
+        t = p;
+    }
+    if (!b.rowOpen()) {
+        const Cycles a =
+            std::max(b.earliestIssue(DramCmd::Act, t), nextCmd_);
+        b.issue(DramCmd::Act, row, a);
+        nextCmd_ = a + cmdCycles;
+        t = a;
+    }
+
+    const DramCmd col = is_write ? DramCmd::Wr : DramCmd::Rd;
+    const Cycles data_delay = is_write ? t_.tCWL : t_.tCL;
+    Cycles c = std::max(b.earliestIssue(col, t), nextCmd_);
+    // The column command may not issue while its data phase would
+    // collide with an earlier burst on the shared data bus.
+    if (c + data_delay < nextData_)
+        c = nextData_ - data_delay;
+    b.issue(col, row, c);
+    nextCmd_ = c + cmdCycles;
+    nextData_ = c + data_delay + t_.tBURST;
+
+    const Cycles served = b.busyCycles() - busy_before;
+    stats_.bankBusyCycles += served;
+    stats_.bankOccupancy.add(served);
+    FTRACE(Dram, start, "ch%u bank%u row%llu %s done@%llu", channel_,
+           da.bankIndex, static_cast<unsigned long long>(da.row),
+           is_write ? "WR" : "RD",
+           static_cast<unsigned long long>(c + data_delay + t_.tBURST));
+    return c + data_delay + t_.tBURST;
+}
+
+Cycles
+DramChannel::drainWrite(std::size_t i, Cycles now)
+{
+    const PostedWrite w = writeQueue_[i];
+    writeQueue_.erase(writeQueue_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+    ++stats_.wqDrains;
+    const Cycles start =
+        windowFloor(std::max(now, w.arrival) + t_.tCtrl);
+    const Cycles done = issueTransaction(w.where, true, start);
+    windowReserve(done);
+    return done;
+}
+
+Cycles
+DramChannel::readComplete(Addr line, const DramAddress &da, Cycles now)
+{
+    advanceRefresh(now);
+    ++stats_.reads;
+
+    // Write-queue forwarding: a read covered by a posted write is
+    // answered from the queue (youngest entry carries the data).
+    for (auto it = writeQueue_.rbegin(); it != writeQueue_.rend();
+         ++it) {
+        if (it->line == line) {
+            ++stats_.wqForwards;
+            const Cycles done = now + t_.tCtrl + t_.tBURST;
+            stats_.queueLatency.add(done - now);
+            return done;
+        }
+    }
+
+    if (!cfg_.frfcfs) {
+        // Strict FCFS: every older posted write issues first.
+        while (!writeQueue_.empty())
+            drainWrite(0, now);
+    } else {
+        // FR-FCFS: only first-ready (row-hit) writes go ahead of the
+        // read; the rest keep waiting in the queue.
+        for (std::size_t i = 0; i < writeQueue_.size();) {
+            const DramAddress &w = writeQueue_[i].where;
+            const BankState &b = banks_[w.bankIndex];
+            if (b.rowOpen() &&
+                b.openRow() == static_cast<std::int64_t>(w.row)) {
+                drainWrite(i, now);
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    const Cycles start = windowFloor(now + t_.tCtrl);
+    const Cycles done = issueTransaction(da, false, start);
+    windowReserve(done);
+    stats_.queueLatency.add(done - now);
+    return done;
+}
+
+Cycles
+DramChannel::postWrite(Addr line, const DramAddress &da, Cycles now)
+{
+    advanceRefresh(now);
+    ++stats_.writes;
+    Cycles stall = 0;
+    if (writeQueue_.size() >= cfg_.writeQueueDepth) {
+        // Queue full: the requestor waits for the oldest write to
+        // drain before its own can be posted.
+        const Cycles done = drainWrite(0, now);
+        if (done > now) {
+            stall = done - now;
+            ++stats_.wqStalls;
+        }
+    }
+    writeQueue_.push_back(PostedWrite{line, da, now});
+    return stall;
+}
+
+} // namespace flextm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * One DRAM channel: its banks, command/data buses, posted-write
+ * queue, bounded in-flight window, and refresh schedule.
+ *
+ * The simulator executes memory operations one at a time in global
+ * simulated-time order, so the channel is a *call-based* queueing
+ * model rather than a per-cycle loop: each read call resolves to a
+ * completion time immediately, computed from resource-availability
+ * clocks (bank gates, command bus, data bus, window slots) that
+ * earlier transactions reserved into the future.  Overlap in
+ * simulated time falls out of those reservations - a burst of misses
+ * issued at the same cycle serializes exactly as far as the banks,
+ * buses, and the in-flight window force it to.
+ *
+ * Writebacks are posted: postWrite() parks the transfer in a bounded
+ * write queue and returns only the stall seen by the evicting
+ * requestor (nonzero when the queue is full).  Queued writes drain
+ *  - on queue overflow (oldest first),
+ *  - before a read, per arbitration policy: FR-FCFS drains only
+ *    queued writes that row-hit their bank's open row (first-ready)
+ *    and lets the read bypass the rest; strict FCFS drains every
+ *    older write first,
+ *  - by address match: a read covered by a queued write is forwarded
+ *    from the write queue without touching the banks.
+ *
+ * Refresh: every tREFI the channel closes all banks and blocks them
+ * for tRFC.  Catch-up is lazy (on the next request), so an idle
+ * channel costs nothing to simulate.
+ */
+
+#ifndef FLEXTM_MEM_DRAM_COMMAND_QUEUE_HH
+#define FLEXTM_MEM_DRAM_COMMAND_QUEUE_HH
+
+#include <vector>
+
+#include "mem/dram/address_map.hh"
+#include "mem/dram/bank_state.hh"
+#include "sim/stats.hh"
+
+namespace flextm
+{
+
+/** Interned DRAM counters/histograms, shared by all channels. */
+struct DramStats
+{
+    explicit DramStats(StatRegistry &s);
+    Counter &reads, &writes, &rowHits, &rowMisses, &rowConflicts;
+    Counter &refreshes, &windowStalls, &wqForwards, &wqDrains;
+    Counter &wqStalls, &bankBusyCycles;
+    /** Read latency (completion - arrival), queueing included. */
+    Histogram &queueLatency;
+    /** Per-transaction bank service time (occupancy distribution). */
+    Histogram &bankOccupancy;
+};
+
+/** One channel of the banked DRAM backend. */
+class DramChannel
+{
+  public:
+    DramChannel(const DramConfig &cfg, DramStats &stats,
+                unsigned channel);
+
+    /** Service a read of @p line (decoded as @p da) arriving at
+     *  @p now; returns its completion cycle (>= now). */
+    Cycles readComplete(Addr line, const DramAddress &da, Cycles now);
+
+    /** Post a writeback; returns the requestor-visible stall. */
+    Cycles postWrite(Addr line, const DramAddress &da, Cycles now);
+
+    /** @name Test / stats hooks */
+    /// @{
+    unsigned pendingWrites() const
+    {
+        return static_cast<unsigned>(writeQueue_.size());
+    }
+    const BankState &bank(unsigned i) const { return banks_[i]; }
+    /// @}
+
+  private:
+    struct PostedWrite
+    {
+        Addr line = 0;
+        DramAddress where;
+        Cycles arrival = 0;
+    };
+
+    /** Perform any refresh epochs due at or before @p now. */
+    void advanceRefresh(Cycles now);
+
+    /** Issue one row/column transaction: PRE/ACT as needed, then the
+     *  column access; returns the completion cycle.  @p start is the
+     *  earliest the first command may issue. */
+    Cycles issueTransaction(const DramAddress &da, bool is_write,
+                            Cycles start);
+
+    /** Drain writeQueue_[i] (issues it through the banks). */
+    Cycles drainWrite(std::size_t i, Cycles now);
+
+    /** Earliest start honouring the in-flight window; reserves the
+     *  slot once the transaction's completion is known. */
+    Cycles windowFloor(Cycles start);
+    void windowReserve(Cycles completion);
+
+    const DramConfig &cfg_;
+    const DramTiming &t_;
+    DramStats &stats_;
+    unsigned channel_;
+
+    std::vector<BankState> banks_;
+    Cycles nextCmd_ = 0;   //!< command-bus availability
+    Cycles nextData_ = 0;  //!< data-bus availability
+    Cycles nextRefresh_;
+
+    /** Completion times of in-flight transactions (<= cfg.window). */
+    std::vector<Cycles> inflight_;
+    std::vector<PostedWrite> writeQueue_;
+
+    /** One command occupies the command bus this long. */
+    static constexpr Cycles cmdCycles = 4;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_MEM_DRAM_COMMAND_QUEUE_HH

@@ -1,0 +1,30 @@
+#include "mem/dram/dram_backend.hh"
+
+namespace flextm
+{
+
+DramBackend::DramBackend(const MachineConfig &cfg, StatRegistry &stats)
+    : cfg_(cfg.dram), map_(cfg_), stats_(stats)
+{
+    channels_.reserve(cfg_.channels);
+    for (unsigned c = 0; c < cfg_.channels; ++c)
+        channels_.emplace_back(cfg_, stats_, c);
+}
+
+Cycles
+DramBackend::read(Addr line, Cycles now)
+{
+    const DramAddress da = map_.map(line);
+    const Cycles done =
+        channels_[da.channel].readComplete(line, da, now);
+    return done - now;
+}
+
+Cycles
+DramBackend::write(Addr line, Cycles now)
+{
+    const DramAddress da = map_.map(line);
+    return channels_[da.channel].postWrite(line, da, now);
+}
+
+} // namespace flextm

@@ -76,7 +76,8 @@ MemorySystem::MemorySystem(const MachineConfig &cfg, SimMemory &mem,
     : cfg_(cfg), mem_(mem), contexts_(contexts), stats_(stats),
       ctr_(stats),
       net_(cfg.cores, cfg.interconnectRadix, cfg.linkLatency),
-      l2_(cfg.l2Bytes, cfg.l2Ways, cfg.l2Banks)
+      l2_(cfg.l2Bytes, cfg.l2Ways, cfg.l2Banks),
+      membe_(makeMemBackend(cfg_, stats))
 {
     sim_assert(cfg.cores <= maxCstCores);
     sim_assert(contexts_.size() == cfg.cores);
@@ -324,9 +325,13 @@ MemorySystem::evictL2Line(L2Line &line, Cycles now)
             contexts_[k].aou.raise(AlertCause::Capacity, line.base);
         l1s_[k]->invalidate(*ll);
     }
-    if (line.dirty)
+    if (line.dirty) {
         mem_.write(line.base, line.data.data(), lineBytes);
-    (void)now;
+        // Post the writeback to the memory backend.  The returned
+        // stall (nonzero only when the backend's write queue is full)
+        // is charged to whichever operation triggered the eviction.
+        pendingEvictCost_ += membe_->write(line.base, now);
+    }
 }
 
 L2Line &
@@ -335,7 +340,7 @@ MemorySystem::l2FillOrFind(Addr addr, Cycles now, Cycles &latency)
     if (L2Line *l = l2_.find(addr, now))
         return *l;
 
-    latency += cfg_.memLatency;
+    latency += membe_->read(lineAlign(addr), now);
     ++ctr_.l2Misses;
     L2Line &nl = l2_.allocate(
         addr, now, [this, now](L2Line &victim) {

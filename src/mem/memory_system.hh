@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/hw_context.hh"
+#include "mem/dram/mem_backend.hh"
 #include "mem/interconnect.hh"
 #include "mem/l1_cache.hh"
 #include "mem/l2_cache.hh"
@@ -171,6 +172,9 @@ class MemorySystem
     /** Attach a fault plan (forced TMI evictions on access). */
     void setFaultPlan(FaultPlan *p) { fault_ = p; }
 
+    /** The main-memory timing backend behind the L2 (never null). */
+    MemBackend &memBackend() { return *membe_; }
+
     /** The cross-layer state auditor; null when MachineConfig::auditor
      *  is Off (the protocol engine then pays only a pointer test per
      *  operation). */
@@ -223,6 +227,7 @@ class MemorySystem
     Interconnect net_;
     std::vector<std::unique_ptr<L1Cache>> l1s_;
     L2Cache l2_;
+    std::unique_ptr<MemBackend> membe_;
 
     /** Post-commit OT copy-back windows, per core. */
     struct RetiredOt

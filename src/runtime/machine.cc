@@ -18,6 +18,9 @@ Machine::Machine(const MachineConfig &cfg)
     // goldens) can be audited without a config plumbing change:
     // FLEXTM_AUDITOR=off|switch|txn|transition.
     cfg_.auditor = envAuditLevel(cfg_.auditor);
+    // Same idea for the main-memory timing backend:
+    // FLEXTM_MEM_BACKEND=fixed|dram.
+    cfg_.memBackend = envMemBackend(cfg_.memBackend);
     memsys_ =
         std::make_unique<MemorySystem>(cfg_, mem_, contexts_, stats_);
     fault_.configure(cfg_.fault, cfg_.seed);

@@ -59,6 +59,64 @@ struct ProgressConfig
     Cycles watchdogCycles = 5'000'000;
 };
 
+/** Which timing model sits behind the L2 (src/mem/dram/). */
+enum class MemBackendKind : unsigned
+{
+    /** Flat memLatency per fill, free writebacks (the paper's Table
+     *  3a abstraction; the default, and the one all determinism
+     *  goldens are recorded against). */
+    Fixed = 0,
+    /** Banked DRAM model: address-mapped channels/ranks/banks, per-
+     *  bank row-buffer state machines, an FR-FCFS command queue with
+     *  a bounded in-flight window, and periodic refresh. */
+    Dram,
+};
+
+/**
+ * DRAM device timing, in *CPU* cycles (the simulator has a single
+ * clock domain; these defaults approximate DDR4-class parts behind a
+ * 4:1 core:bus clock ratio, scaled so an idle closed-bank access
+ * lands near the flat model's 250-cycle cost).
+ */
+struct DramTiming
+{
+    Cycles tCtrl = 20;    //!< controller pipeline + channel arbitration
+    Cycles tRCD = 60;     //!< ACT -> RD/WR
+    Cycles tRP = 60;      //!< PRE -> ACT
+    Cycles tRAS = 140;    //!< ACT -> PRE minimum
+    Cycles tCL = 60;      //!< RD -> first data beat
+    Cycles tCWL = 40;     //!< WR -> first data beat
+    Cycles tBURST = 16;   //!< data-bus occupancy of one line transfer
+    Cycles tWR = 60;      //!< write recovery (last data beat -> PRE)
+    Cycles tRTP = 30;     //!< RD -> PRE
+    Cycles tCCD = 16;     //!< column-command spacing within a bank
+    Cycles tRFC = 1400;   //!< refresh duration (banks blocked)
+    Cycles tREFI = 31200; //!< refresh interval per channel (0 = off)
+};
+
+/** Geometry and policy of the banked DRAM backend. */
+struct DramConfig
+{
+    unsigned channels = 2;
+    unsigned ranksPerChannel = 1;
+    unsigned banksPerRank = 8;
+    /** Row-buffer size per bank; must be a power of two and at least
+     *  one cache line. */
+    std::size_t rowBytes = 2048;
+    /** Bounded in-flight window per channel: at most this many
+     *  transactions overlap; further misses queue behind the oldest
+     *  (the "concurrent misses are not free" knob). */
+    unsigned window = 8;
+    /** Posted-writeback queue depth per channel; a full queue stalls
+     *  the evicting requestor until the oldest write drains. */
+    unsigned writeQueueDepth = 8;
+    /** FR-FCFS arbitration (reads bypass queued writes; queued
+     *  row-hit writes drain first).  false = strict FCFS: every older
+     *  posted write drains before a read issues. */
+    bool frfcfs = true;
+    DramTiming timing;
+};
+
 /**
  * Cross-layer state-auditor checkpoint granularity (see
  * src/sim/auditor.hh).  Each level includes everything the cheaper
@@ -93,8 +151,17 @@ struct MachineConfig
     unsigned l2Banks = 4;
     Cycles l2HitLatency = 20;
 
-    /** Main memory access latency (Table 3a: 250 cycles). */
+    /** Main memory access latency (Table 3a: 250 cycles); used by
+     *  the Fixed backend only. */
     Cycles memLatency = 250;
+
+    /** Which main-memory timing model backs the L2 miss path and
+     *  dirty-L2 writebacks (the FLEXTM_MEM_BACKEND environment
+     *  variable - "fixed" / "dram" - can override). */
+    MemBackendKind memBackend = MemBackendKind::Fixed;
+
+    /** Banked-DRAM backend geometry/timing (Dram mode only). */
+    DramConfig dram;
 
     /** Per-link latency of the 4-ary tree interconnect. */
     Cycles linkLatency = 1;

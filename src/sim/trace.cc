@@ -33,6 +33,8 @@ name(Category c)
         return "fault";
       case Oracle:
         return "oracle";
+      case Dram:
+        return "dram";
       default:
         return "?";
     }
@@ -73,6 +75,8 @@ parseCategories(const std::string &spec)
             m |= Fault;
         else if (tok == "oracle")
             m |= Oracle;
+        else if (tok == "dram")
+            m |= Dram;
         pos = comma + 1;
     }
     return m;

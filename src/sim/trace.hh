@@ -30,6 +30,7 @@ enum Category : unsigned
     Watch = 1u << 3,     //!< FlexWatcher alerts
     Fault = 1u << 4,     //!< fault-injection firings
     Oracle = 1u << 5,    //!< serializability-oracle commits
+    Dram = 1u << 6,      //!< DRAM backend commands / queue events
     All = ~0u
 };
 

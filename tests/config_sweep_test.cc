@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mem/dram/mem_backend.hh"
 #include "runtime/runtime_factory.hh"
 #include "workloads/workload.hh"
 
@@ -226,6 +227,67 @@ TEST(Determinism, SingleThreadResultsAgreeAcrossRuntimes)
           RuntimeKind::Rstm, RuntimeKind::Tl2, RuntimeKind::RtmF}) {
         EXPECT_EQ(final_state(rk), ref) << runtimeKindName(rk);
     }
+}
+
+// ---- DRAM backend knob validation -------------------------------
+//
+// All DRAM geometry/queue knobs are validated in one place
+// (validateDramConfig, run before the backend is built); a machine
+// cannot come up on a config the model cannot represent.
+
+TEST(DramConfigValidation, RejectsZeroChannels)
+{
+    DramConfig c;
+    c.channels = 0;
+    EXPECT_DEATH(validateDramConfig(c), "channels must be nonzero");
+}
+
+TEST(DramConfigValidation, RejectsZeroRanks)
+{
+    DramConfig c;
+    c.ranksPerChannel = 0;
+    EXPECT_DEATH(validateDramConfig(c),
+                 "ranksPerChannel must be nonzero");
+}
+
+TEST(DramConfigValidation, RejectsZeroBanks)
+{
+    DramConfig c;
+    c.banksPerRank = 0;
+    EXPECT_DEATH(validateDramConfig(c),
+                 "banksPerRank must be nonzero");
+}
+
+TEST(DramConfigValidation, RejectsNonPowerOfTwoRowSize)
+{
+    DramConfig c;
+    c.rowBytes = 3000;
+    EXPECT_DEATH(validateDramConfig(c), "power of two");
+    c.rowBytes = lineBytes / 2;  // smaller than one line
+    EXPECT_DEATH(validateDramConfig(c), "power of two");
+}
+
+TEST(DramConfigValidation, RejectsZeroWindow)
+{
+    DramConfig c;
+    c.window = 0;
+    EXPECT_DEATH(validateDramConfig(c), "window must be nonzero");
+}
+
+TEST(DramConfigValidation, RejectsZeroWriteQueueDepth)
+{
+    DramConfig c;
+    c.writeQueueDepth = 0;
+    EXPECT_DEATH(validateDramConfig(c),
+                 "writeQueueDepth must be nonzero");
+}
+
+TEST(DramConfigValidation, MachineConstructionRunsTheValidator)
+{
+    MachineConfig cfg;
+    cfg.memBackend = MemBackendKind::Dram;
+    cfg.dram.channels = 0;
+    EXPECT_DEATH(Machine m(cfg), "channels must be nonzero");
 }
 
 } // anonymous namespace
