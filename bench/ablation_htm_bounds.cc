@@ -1,0 +1,256 @@
+/**
+ * @file
+ * HyTM bounds ablation: how much best-effort HTM capacity does a
+ * hybrid need before the software slow path stops dominating?
+ *
+ * A bounded HTM turns every footprint over its read/write-set limits
+ * into a capacity abort, and the retry budget converts repeated
+ * aborts into serialized slow-path commits - so the interesting
+ * curves are abort rate and slow-path fraction as functions of the
+ * set bounds, the retry limit, and contention (Zipfian access skew).
+ * FlexTM (unbounded sets via signatures + OT) and TL2 (all-software)
+ * run the same workload as the two poles the hybrid interpolates
+ * between.
+ *
+ * The workload is a counter array hammered by read-modify-write
+ * transactions whose footprint size cycles deterministically through
+ * 1..maxSpan lines and whose addresses are drawn from a Zipfian
+ * distribution (skew 0 = uniform; higher skew concentrates traffic
+ * on a few hot lines, raising the conflict-abort rate independently
+ * of capacity).
+ *
+ * `--smoke` runs a reduced single-threaded sweep and exits nonzero
+ * unless the slow-path fraction is monotonically non-increasing in
+ * the write bound (the property the unit suite also pins), keeping
+ * the full harness honest in CI without its multi-minute runtime.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "bench/bench_util.hh"
+#include "runtime/runtime_factory.hh"
+
+using namespace flextm;
+
+namespace
+{
+
+/** Zipfian sampler over ranks 0..n-1: CDF built once per config,
+ *  inverted by binary search.  skew 0 degenerates to uniform. */
+class Zipf
+{
+  public:
+    Zipf(unsigned n, double skew)
+    {
+        cdf_.reserve(n);
+        double total = 0;
+        for (unsigned r = 1; r <= n; ++r) {
+            total += 1.0 / std::pow(static_cast<double>(r), skew);
+            cdf_.push_back(total);
+        }
+        for (double &c : cdf_)
+            c /= total;
+    }
+
+    unsigned
+    sample(TxThread &t) const
+    {
+        const double u =
+            static_cast<double>(t.rng().nextInt(1u << 20)) /
+            static_cast<double>(1u << 20);
+        const auto it =
+            std::upper_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<unsigned>(it - cdf_.begin());
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+struct RunStats
+{
+    double throughput = 0;     //!< commits per Mcycle
+    double abortRate = 0;      //!< aborts / (commits + aborts)
+    double slowFraction = 0;   //!< hytm.slow_commits / tx.commits
+    std::uint64_t cycles = 0;
+};
+
+struct RunConfig
+{
+    RuntimeKind rk = RuntimeKind::HyTm;
+    unsigned threads = 8;
+    unsigned readBound = 64;
+    unsigned writeBound = 16;
+    unsigned retryLimit = 4;
+    double skew = 0.0;
+    unsigned txnsPerThread = 200;
+    unsigned maxSpan = 24;
+    std::uint64_t seed = 1;
+};
+
+RunStats
+run(const RunConfig &rc)
+{
+    constexpr unsigned regionLines = 256;
+
+    MachineConfig cfg;
+    cfg.cores = std::max(rc.threads, 2u);
+    cfg.memoryBytes = 64u << 20;
+    cfg.htmReadSetLines = rc.readBound;
+    cfg.htmWriteSetLines = rc.writeBound;
+    cfg.htmRetryLimit = rc.retryLimit;
+    cfg.seed = rc.seed;
+    Machine m(cfg);
+    RuntimeFactory f(m, rc.rk);
+
+    const Addr base = m.memory().allocate(
+        std::size_t{regionLines} * lineBytes, lineBytes);
+    const Zipf zipf(regionLines, rc.skew);
+
+    std::vector<std::unique_ptr<TxThread>> ts;
+    for (unsigned i = 0; i < rc.threads; ++i) {
+        ts.push_back(f.makeThread(i, i));
+        TxThread *t = ts.back().get();
+        m.scheduler().spawn(i, [t, base, &zipf, &rc] {
+            for (unsigned k = 0; k < rc.txnsPerThread; ++k) {
+                const unsigned span = 1 + k % rc.maxSpan;
+                t->txn([&] {
+                    for (unsigned j = 0; j < span; ++j) {
+                        const Addr a =
+                            base + std::size_t{zipf.sample(*t)} *
+                                       lineBytes;
+                        const auto v = t->load<std::uint64_t>(a);
+                        t->store<std::uint64_t>(a, v + 1);
+                    }
+                });
+                t->work(30);
+            }
+        });
+    }
+    const Cycles cyc = m.run();
+
+    RunStats s;
+    s.cycles = cyc;
+    const double commits = static_cast<double>(
+        m.stats().counterValue("tx.commits"));
+    const double aborts = static_cast<double>(
+        m.stats().counterValue("tx.aborts"));
+    s.throughput = commits * 1e6 / static_cast<double>(cyc);
+    s.abortRate =
+        commits + aborts > 0 ? aborts / (commits + aborts) : 0.0;
+    if (rc.rk == RuntimeKind::HyTm)
+        s.slowFraction =
+            static_cast<double>(
+                m.stats().counterValue("hytm.slow_commits")) /
+            commits;
+    return s;
+}
+
+/** Single-threaded deterministic slow-path fraction at one write
+ *  bound - the smoke-mode monotonicity probe. */
+double
+smokeSlowFraction(unsigned write_bound)
+{
+    RunConfig rc;
+    rc.threads = 1;
+    rc.readBound = 64;
+    rc.writeBound = write_bound;
+    rc.retryLimit = 2;
+    rc.skew = 0.0;
+    rc.txnsPerThread = 96;
+    return run(rc).slowFraction;
+}
+
+int
+smoke()
+{
+    constexpr unsigned bounds[] = {2, 4, 8, 16, 32};
+    double prev = 2.0;
+    bool ok = true;
+    std::printf("%8s %14s\n", "wr-bound", "slow-fraction");
+    for (unsigned b : bounds) {
+        const double frac = smokeSlowFraction(b);
+        std::printf("%8u %14.3f\n", b, frac);
+        if (frac > prev) {
+            std::fprintf(stderr,
+                         "FAIL: slow-path fraction rose (%.3f -> "
+                         "%.3f) when the write bound grew to %u\n",
+                         prev, frac, b);
+            ok = false;
+        }
+        prev = frac;
+    }
+    // prev now holds the largest bound's fraction: nothing should
+    // fall back when every footprint fits.
+    if (prev != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: slow-path fraction %.3f nonzero at a "
+                     "bound that fits every footprint\n",
+                     prev);
+        ok = false;
+    }
+    std::printf("%s\n", ok ? "smoke OK" : "smoke FAILED");
+    return ok ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0)
+        return smoke();
+
+    std::printf("HyTM bounds ablation: abort rate and slow-path "
+                "fraction vs set bounds, retry limit, skew\n"
+                "(8 threads, 256-line region, footprints 1..24 "
+                "lines; FlexTM-lazy and TL2 as the unbounded-HTM "
+                "and all-software poles)\n");
+
+    for (double skew : {0.0, 0.8, 1.2}) {
+        std::printf("\nwrite-bound sweep (read bound = 4x write, "
+                    "retry 4, skew %.1f)\n",
+                    skew);
+        std::printf("%-14s %10s %10s %12s\n", "config", "abort%",
+                    "slow%", "thr/Mcyc");
+        for (unsigned wb : {2u, 4u, 8u, 16u, 32u}) {
+            RunConfig rc;
+            rc.writeBound = wb;
+            rc.readBound = 4 * wb + 2;
+            rc.skew = skew;
+            const RunStats s = run(rc);
+            std::printf("HyTM-w%-8u %9.1f%% %9.1f%% %12.2f\n", wb,
+                        100 * s.abortRate, 100 * s.slowFraction,
+                        s.throughput);
+        }
+        for (RuntimeKind rk :
+             {RuntimeKind::FlexTmLazy, RuntimeKind::Tl2}) {
+            RunConfig rc;
+            rc.rk = rk;
+            rc.skew = skew;
+            const RunStats s = run(rc);
+            std::printf("%-14s %9.1f%% %10s %12.2f\n",
+                        runtimeKindName(rk), 100 * s.abortRate, "-",
+                        s.throughput);
+        }
+    }
+
+    std::printf("\nretry-limit sweep (write bound 8, read bound 34, "
+                "skew 0.8)\n");
+    std::printf("%8s %10s %10s %12s\n", "retries", "abort%", "slow%",
+                "thr/Mcyc");
+    for (unsigned retry : {1u, 2u, 4u, 8u}) {
+        RunConfig rc;
+        rc.writeBound = 8;
+        rc.readBound = 34;
+        rc.retryLimit = retry;
+        rc.skew = 0.8;
+        const RunStats s = run(rc);
+        std::printf("%8u %9.1f%% %9.1f%% %12.2f\n", retry,
+                    100 * s.abortRate, 100 * s.slowFraction,
+                    s.throughput);
+    }
+    return 0;
+}

@@ -26,7 +26,9 @@
  * One extra cell runs with the banked DRAM backend and is tracked in
  * its own dram_baseline / dram_current sections (with the same
  * simulated-work identity check), kept outside the frozen matrix so
- * the flat-latency trajectory stays comparable across PRs.
+ * the flat-latency trajectory stays comparable across PRs.  A second
+ * side cell does the same for the HyTM runtime (hytm_baseline /
+ * hytm_current), since HyTm postdates the frozen 6-runtime matrix.
  *
  * --quick runs a 6-cell subset (one workload, one seed per runtime)
  * with no JSON output - the perf-smoke ctest entry, so the harness
@@ -354,6 +356,18 @@ main(int argc, char **argv)
                  dram.wallSeconds,
                  static_cast<unsigned long long>(dram.simCycles));
 
+    // One HyTM cell, also beside the frozen matrix (the 6-runtime
+    // matrix predates the hybrid runtime and must stay frozen).
+    const std::vector<Cell> hytmCells = {
+        Cell{RuntimeKind::HyTm, WorkloadKind::HashTable, 7200}};
+    Totals hytm;
+    if (!runMatrix(hytmCells, 1, hytm))
+        return 1;
+    std::fprintf(stderr,
+                 "perf_sim: hytm cell %.2fs, %llu sim cycles\n",
+                 hytm.wallSeconds,
+                 static_cast<unsigned long long>(hytm.simCycles));
+
     if (quick) {
         std::fprintf(stderr, "perf_sim: quick mode, no JSON output\n");
         return 0;
@@ -364,10 +378,14 @@ main(int argc, char **argv)
     bool have_baseline = false;
     Totals dramBaseline;
     bool have_dram_baseline = false;
+    Totals hytmBaseline;
+    bool have_hytm_baseline = false;
     if (!record_baseline && readFile(out_path, prior)) {
         have_baseline = loadTotals(prior, "baseline", baseline);
         have_dram_baseline =
             loadTotals(prior, "dram_baseline", dramBaseline);
+        have_hytm_baseline =
+            loadTotals(prior, "hytm_baseline", hytmBaseline);
     }
     if (!have_baseline) {
         if (!record_baseline)
@@ -387,11 +405,21 @@ main(int argc, char **argv)
         dramBaseline = dram;
         have_dram_baseline = true;
     }
+    if (!have_hytm_baseline) {
+        if (!record_baseline)
+            std::fprintf(stderr,
+                         "perf_sim: no hytm baseline in %s; recording "
+                         "this run's hytm cell as its baseline\n",
+                         out_path.c_str());
+        hytmBaseline = hytm;
+        have_hytm_baseline = true;
+    }
 
     // Same matrix => same simulated work.  A mismatch means a perf
     // change altered simulation behaviour; fail loudly.
     if (!matrixMatches("flat", baseline, serial) ||
-        !matrixMatches("dram", dramBaseline, dram)) {
+        !matrixMatches("dram", dramBaseline, dram) ||
+        !matrixMatches("hytm", hytmBaseline, hytm)) {
         return 1;
     }
 
@@ -412,7 +440,7 @@ main(int argc, char **argv)
     std::fprintf(f, "{\n");
     std::fprintf(f,
                  "  \"bench\": \"perf_sim\",\n"
-                 "  \"schema\": 2,\n"
+                 "  \"schema\": 3,\n"
                  "  \"matrix\": {\n"
                  "    \"runtimes\": 6,\n"
                  "    \"workloads\": 3,\n"
@@ -427,6 +455,8 @@ main(int argc, char **argv)
     writeSection(f, "current_parallel", parallel, true);
     writeSection(f, "dram_baseline", dramBaseline, true);
     writeSection(f, "dram_current", dram, true);
+    writeSection(f, "hytm_baseline", hytmBaseline, true);
+    writeSection(f, "hytm_current", hytm, true);
     std::fprintf(f,
                  "  \"speedup_serial\": %.3f,\n"
                  "  \"speedup_best\": %.3f\n"

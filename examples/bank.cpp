@@ -119,10 +119,7 @@ main()
     std::printf("%-14s %10s %9s %9s %12s\n", "runtime", "invariant",
                 "commits", "aborts", "cycles");
     bool all_ok = true;
-    for (RuntimeKind kind :
-         {RuntimeKind::FlexTmEager, RuntimeKind::FlexTmLazy,
-          RuntimeKind::Cgl, RuntimeKind::Rstm, RuntimeKind::Tl2,
-          RuntimeKind::RtmF}) {
+    for (RuntimeKind kind : allRuntimeKinds()) {
         const Result r = run(kind);
         all_ok = all_ok && r.invariant_held;
         std::printf("%-14s %10s %9llu %9llu %12llu\n",

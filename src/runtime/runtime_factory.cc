@@ -5,6 +5,21 @@
 namespace flextm
 {
 
+const std::vector<RuntimeKind> &
+allRuntimeKinds()
+{
+    // Factory order.  Append only: harnesses derive deterministic
+    // seeds from a kind's position in this list, so reordering would
+    // silently re-seed every recorded sweep.
+    static const std::vector<RuntimeKind> kinds = {
+        RuntimeKind::FlexTmEager, RuntimeKind::FlexTmLazy,
+        RuntimeKind::Cgl,         RuntimeKind::Rstm,
+        RuntimeKind::Tl2,         RuntimeKind::RtmF,
+        RuntimeKind::HyTm,
+    };
+    return kinds;
+}
+
 RuntimeFactory::RuntimeFactory(Machine &m, RuntimeKind kind)
     : m_(m), kind_(kind)
 {
@@ -24,6 +39,9 @@ RuntimeFactory::RuntimeFactory(Machine &m, RuntimeKind kind)
         break;
       case RuntimeKind::RtmF:
         rtmf_ = std::make_unique<RtmfGlobals>(m_);
+        break;
+      case RuntimeKind::HyTm:
+        hytm_ = std::make_unique<HyTmGlobals>(m_);
         break;
     }
 }
@@ -46,6 +64,8 @@ RuntimeFactory::makeThread(ThreadId tid, CoreId core)
         return std::make_unique<RstmThread>(m_, *rstm_, tid, core);
       case RuntimeKind::RtmF:
         return std::make_unique<RtmfThread>(m_, *rtmf_, tid, core);
+      case RuntimeKind::HyTm:
+        return std::make_unique<HyTmThread>(m_, *hytm_, tid, core);
     }
     panic("unknown runtime kind");
 }

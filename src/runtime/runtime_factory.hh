@@ -1,16 +1,18 @@
 /**
  * @file
- * Factory that builds threads for any of the five runtimes over one
- * Machine, owning the runtime's machine-wide shared state.
+ * Factory that builds threads for any of the registered runtimes over
+ * one Machine, owning the runtime's machine-wide shared state.
  */
 
 #ifndef FLEXTM_RUNTIME_RUNTIME_FACTORY_HH
 #define FLEXTM_RUNTIME_RUNTIME_FACTORY_HH
 
 #include <memory>
+#include <vector>
 
 #include "runtime/cgl_runtime.hh"
 #include "runtime/flextm_runtime.hh"
+#include "runtime/hytm_runtime.hh"
 #include "runtime/rstm_runtime.hh"
 #include "runtime/rtmf_runtime.hh"
 #include "runtime/tl2_runtime.hh"
@@ -18,6 +20,16 @@
 
 namespace flextm
 {
+
+/**
+ * The runtime registry: every RuntimeKind the factory can build, in
+ * factory order.  Harnesses (goldens, fault sweeps, oracle matrices)
+ * iterate this instead of hard-coding the list, so registering a new
+ * runtime automatically enrolls it everywhere - and the teeth tests
+ * fail loudly if a harness artifact (e.g. a determinism golden) is
+ * missing for a registered kind.
+ */
+const std::vector<RuntimeKind> &allRuntimeKinds();
 
 /** Builds TxThreads of one runtime kind for one machine. */
 class RuntimeFactory
@@ -42,6 +54,7 @@ class RuntimeFactory
     std::unique_ptr<Tl2Globals> tl2_;
     std::unique_ptr<RstmGlobals> rstm_;
     std::unique_ptr<RtmfGlobals> rtmf_;
+    std::unique_ptr<HyTmGlobals> hytm_;
 };
 
 } // namespace flextm

@@ -411,6 +411,8 @@ runtimeKindName(RuntimeKind k)
         return "TL2";
       case RuntimeKind::RtmF:
         return "RTM-F";
+      case RuntimeKind::HyTm:
+        return "HyTM";
     }
     return "?";
 }

@@ -313,7 +313,8 @@ enum class RuntimeKind
     Cgl,
     Rstm,
     Tl2,
-    RtmF
+    RtmF,
+    HyTm
 };
 
 const char *runtimeKindName(RuntimeKind k);

@@ -81,6 +81,9 @@ StateAuditor::noteTxBegin(CoreId core, ThreadId tid, Addr tsw,
     pc.tswActive = tsw_active;
     pc.rwHist = pc.wrHist = pc.wwHist = 0;
     pc.oneSidedRw = pc.oneSidedWr = pc.oneSidedWw = 0;
+    pc.htmBounded = false;
+    pc.htmOverflowAnnounced = false;
+    pc.htmReadBound = pc.htmWriteBound = 0;
     pc.readLines.clear();
     pc.writeLines.clear();
     // Peer bits naming this core now point at a dead (or parked)
@@ -97,6 +100,8 @@ StateAuditor::noteTxEnd(CoreId core)
     pc.registered = false;
     pc.settling = 0;
     pc.virtualized = false;
+    pc.htmBounded = false;
+    pc.htmOverflowAnnounced = false;
     pc.readLines.clear();
     pc.writeLines.clear();
     markPeersOneSided(core);
@@ -185,6 +190,26 @@ StateAuditor::noteCstSet(CoreId core, CstKind kind, std::uint64_t mask,
 }
 
 void
+StateAuditor::noteHtmBounded(CoreId core, unsigned read_lines,
+                             unsigned write_lines)
+{
+    PerCore &pc = cores_[core];
+    pc.htmBounded = true;
+    pc.htmOverflowAnnounced = false;
+    pc.htmReadBound = read_lines;
+    pc.htmWriteBound = write_lines;
+    noteEvent(0, "htm_bounds", core, 0,
+              (std::uint64_t{read_lines} << 32) | write_lines);
+}
+
+void
+StateAuditor::noteHtmOverflow(CoreId core)
+{
+    cores_[core].htmOverflowAnnounced = true;
+    noteEvent(0, "htm_overflow", core, 0, 0);
+}
+
+void
 StateAuditor::noteEvent(Cycles now, const char *what, CoreId core,
                         Addr addr, std::uint64_t aux)
 {
@@ -236,6 +261,7 @@ StateAuditor::sweep(Cycles now, const char *what)
     sweepCsts(now);
     sweepOt(now);
     sweepAou(now);
+    sweepHtmBounds(now);
 
     if (violations_.size() == before) {
         lastCleanCycle_ = now;
@@ -509,6 +535,37 @@ StateAuditor::sweepOt(Cycles now)
                           "line buffered in the OT is also valid in "
                           "the owning core's L1");
         });
+    }
+}
+
+void
+StateAuditor::sweepHtmBounds(Cycles now)
+{
+    for (CoreId k = 0; k < static_cast<CoreId>(cfg_.cores); ++k) {
+        const PerCore &pc = cores_[k];
+        const HwContext &ctx = ms_.context(k);
+        if (!pc.registered || !pc.htmBounded || !ctx.inTx)
+            continue;
+        if (pc.readLines.size() > pc.htmReadBound)
+            violation(now, "I8 htm-bounds", k, 0,
+                      "bounded transaction read " +
+                          std::to_string(pc.readLines.size()) +
+                          " lines, declared bound " +
+                          std::to_string(pc.htmReadBound));
+        if (pc.writeLines.size() > pc.htmWriteBound)
+            violation(now, "I8 htm-bounds", k, 0,
+                      "bounded transaction wrote " +
+                          std::to_string(pc.writeLines.size()) +
+                          " lines, declared bound " +
+                          std::to_string(pc.htmWriteBound));
+        // Capacity-abort justification: a bounded transaction never
+        // virtualizes, so its OT may only hold lines after the
+        // overflow trap announced the (doomed) overflow.
+        if (ctx.ot && !ctx.ot->empty() && !pc.htmOverflowAnnounced)
+            violation(now, "I8 htm-bounds", k, 0,
+                      "bounded transaction's overflow table is "
+                      "occupied without an announced capacity "
+                      "overflow");
     }
 }
 

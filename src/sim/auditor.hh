@@ -35,6 +35,16 @@
  *                   in the owning core's L1, and the Osig covers it.
  *  I7 aou-live      Every AOU-marked line is either cached with its A
  *                   bit set or has a pending alert recorded.
+ *  I8 htm-bounds    A core that declared itself a bounded hardware
+ *                   transaction (the HyTM fast path) never exceeds its
+ *                   declared read/write-set line bounds, and its
+ *                   overflow table is only ever occupied after an
+ *                   announced capacity overflow - i.e. every capacity
+ *                   abort is justified, and no bounded transaction
+ *                   silently virtualizes.  (Bounded cores register
+ *                   with tracks_csts=false, so I4 still holds but I5
+ *                   duality legitimately decays; I3/I6/I7 apply
+ *                   unchanged.)
  *
  * On violation the auditor prints a deterministic repro bundle - run
  * context (seed / runtime / workload from the oracle when attached),
@@ -146,6 +156,15 @@ class StateAuditor
      *  retired. */
     void noteCstSet(CoreId core, CstKind kind, std::uint64_t mask,
                     bool symmetric = true);
+    /** Bounded-HTM runtime: the transaction begun on @p core runs
+     *  under fixed read/write-set line bounds (arms I8).  Call after
+     *  noteTxBegin; cleared by noteTxEnd. */
+    void noteHtmBounded(CoreId core, unsigned read_lines,
+                        unsigned write_lines);
+    /** Bounded-HTM runtime: a capacity overflow occurred (a TMI line
+     *  left the L1); the transaction is doomed and its OT occupancy
+     *  is justified until it aborts. */
+    void noteHtmOverflow(CoreId core);
     /// @}
 
     /** Append one event to the repro trace ring. */
@@ -190,6 +209,10 @@ class StateAuditor
          *  resident transaction changed since the conflict.  A fresh
          *  symmetric conflict with a core re-arms its bit. */
         std::uint64_t oneSidedRw = 0, oneSidedWr = 0, oneSidedWw = 0;
+        /** I8: bounded-HTM declaration for the current transaction. */
+        bool htmBounded = false;
+        bool htmOverflowAnnounced = false;
+        unsigned htmReadBound = 0, htmWriteBound = 0;
         FlatSet<Addr> readLines, writeLines;
     };
 
@@ -251,6 +274,7 @@ class StateAuditor
     void sweepCsts(Cycles now);
     void sweepOt(Cycles now);
     void sweepAou(Cycles now);
+    void sweepHtmBounds(Cycles now);
 };
 
 } // namespace flextm

@@ -167,6 +167,26 @@ struct MachineConfig
     Cycles linkLatency = 1;
     unsigned interconnectRadix = 4;
 
+    /** @name Bounded best-effort HTM (the HyTM runtime)
+     *
+     * Unlike FlexTM proper, the bounded-HTM mode tracks its read and
+     * write sets against small fixed per-core limits and never
+     * virtualizes: any capacity overflow, context switch, or
+     * unresolved conflict is a capacity/spurious abort, and after
+     * htmRetryLimit consecutive aborts the transaction falls back to
+     * the software (TL2) slow path.  Validated by validateHtmConfig
+     * when a HyTM runtime is built; ignored by every other runtime. */
+    /// @{
+    /** Read-set capacity in cache lines (one line is consumed by the
+     *  fallback-lock subscription). */
+    unsigned htmReadSetLines = 64;
+    /** Write-set capacity in cache lines; must be retainable by the
+     *  L1 (ways + victim entries) since TMI lines may not spill. */
+    unsigned htmWriteSetLines = 16;
+    /** Hardware attempts before the STM fallback engages. */
+    unsigned htmRetryLimit = 4;
+    /// @}
+
     /** Bloom signature width in bits (Table 3a: 2 Kbit). */
     unsigned signatureBits = 2048;
     /** Number of independent hash functions / banks. */

@@ -122,10 +122,7 @@ TEST(ApiContract, SubWordAccessWidths)
 TEST(ApiContract, RuntimeNamesStable)
 {
     Machine m(cfg2());
-    for (RuntimeKind k :
-         {RuntimeKind::FlexTmEager, RuntimeKind::FlexTmLazy,
-          RuntimeKind::Cgl, RuntimeKind::Rstm, RuntimeKind::Tl2,
-          RuntimeKind::RtmF}) {
+    for (RuntimeKind k : allRuntimeKinds()) {
         RuntimeFactory f(m, k);
         auto t = f.makeThread(0, 0);
         EXPECT_EQ(t->name(), runtimeKindName(k));
@@ -135,16 +132,12 @@ TEST(ApiContract, RuntimeNamesStable)
 TEST(ApiContract, ObjectBasedFlagMatchesRuntimes)
 {
     Machine m(cfg2());
-    for (RuntimeKind k :
-         {RuntimeKind::Rstm, RuntimeKind::RtmF}) {
+    for (RuntimeKind k : allRuntimeKinds()) {
+        const bool object_based =
+            k == RuntimeKind::Rstm || k == RuntimeKind::RtmF;
         RuntimeFactory f(m, k);
-        EXPECT_TRUE(f.makeThread(0, 0)->objectBased());
-    }
-    for (RuntimeKind k :
-         {RuntimeKind::FlexTmLazy, RuntimeKind::Cgl,
-          RuntimeKind::Tl2}) {
-        RuntimeFactory f(m, k);
-        EXPECT_FALSE(f.makeThread(0, 0)->objectBased());
+        EXPECT_EQ(f.makeThread(0, 0)->objectBased(), object_based)
+            << runtimeKindName(k);
     }
 }
 

@@ -16,13 +16,22 @@
  * only at commit.  Plain readers racing a speculative writer get
  * Threatened/uncached responses and must still see the reference
  * (stable) value.
+ *
+ * Part 3 (bounded HTM): the same episode machinery under the HyTM
+ * discipline - a fixed write-set line bound decides each episode's
+ * expected transition (commit / voluntary abort / capacity abort),
+ * and capacity-aborted episodes must discard every speculative write
+ * exactly like voluntary ones.  A second sweep runs the real HyTM
+ * runtime threads under random footprints and checks the runtime's
+ * own transition accounting against the machine's commit totals.
  */
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
-#include "runtime/tx_thread.hh"
+#include "runtime/runtime_factory.hh"
 #include "sim/rng.hh"
 
 namespace flextm
@@ -193,6 +202,198 @@ TEST(CoherenceFuzzTx, SpeculativeEpisodesMatchReferenceModel)
         m.memsys().peek(a, &got, 8);
         ASSERT_EQ(got, v);
     }
+}
+
+/** Expected transition of one bounded-HTM episode. */
+enum class HtmTransition
+{
+    Commit,
+    VoluntaryAbort,
+    CapacityAbort,
+};
+
+TEST(CoherenceFuzzTx, BoundedHtmEpisodesMatchReferenceModel)
+{
+    constexpr unsigned cores = 4;
+    constexpr unsigned writeBound = 4;  // lines
+    Machine m(fuzzCfg(cores));
+    Rng rng(131);
+
+    constexpr unsigned words = 64;
+    const Addr base = m.memory().allocate(words * 8, lineBytes);
+    std::map<Addr, std::uint64_t> model;
+    for (unsigned i = 0; i < words; ++i)
+        model[base + i * 8] = 0;
+
+    unsigned commits = 0, voluntary = 0, capacity = 0;
+    Cycles now = 0;
+    const Addr tsw = m.memory().allocate(lineBytes, lineBytes);
+    for (unsigned episode = 0; episode < 300; ++episode) {
+        HwContext &ctx = m.context(0);
+        ctx.ot = nullptr;  // bounded mode: no virtualization
+        ctx.rsig.clear();
+        ctx.wsig.clear();
+        ctx.cst.clearAll();
+        std::uint64_t one = TswActive;
+        now += m.memsys()
+                   .access(0, AccessType::Store, tsw, 4, &one, now)
+                   .latency;
+        ctx.inTx = true;
+
+        // Speculative writes under the bound: a write whose line
+        // would exceed the write-set capacity is never issued - the
+        // bounded-HTM discipline aborts the episode right there.
+        std::map<Addr, std::uint64_t> spec;
+        std::set<Addr> linesTouched;
+        HtmTransition expect = HtmTransition::Commit;
+        const unsigned writes = 1 + rng.nextInt(10);
+        for (unsigned w = 0; w < writes; ++w) {
+            const Addr a = base + rng.nextInt(words) * 8;
+            const Addr line = lineAlign(a);
+            if (linesTouched.count(line) == 0 &&
+                linesTouched.size() >= writeBound) {
+                expect = HtmTransition::CapacityAbort;
+                break;
+            }
+            linesTouched.insert(line);
+            std::uint64_t v = episode * 100 + w + 1;
+            now += m.memsys()
+                       .access(0, AccessType::TStore, a, 8, &v, now)
+                       .latency;
+            spec[a] = v;
+        }
+        ASSERT_LE(linesTouched.size(), writeBound);
+        if (expect == HtmTransition::Commit && rng.percent(40))
+            expect = HtmTransition::VoluntaryAbort;
+
+        // Concurrent plain readers see only stable values regardless
+        // of how the episode will resolve.
+        for (unsigned probe = 0; probe < 8; ++probe) {
+            const CoreId c =
+                static_cast<CoreId>(1 + rng.nextInt(cores - 1));
+            const Addr a = base + rng.nextInt(words) * 8;
+            std::uint64_t v = 0;
+            now += m.memsys()
+                       .access(c, AccessType::Load, a, 8, &v, now)
+                       .latency;
+            ASSERT_EQ(v, model[a]) << "reader saw speculative state "
+                                      "in episode "
+                                   << episode;
+        }
+
+        switch (expect) {
+          case HtmTransition::Commit: {
+            ctx.cst.wr.copyAndClear();
+            ctx.cst.ww.copyAndClear();
+            // check_csts=false: the bounded runtime's commit, whose
+            // stale CST bits only ever name dead requesters.
+            const CommitResult cr = m.memsys().casCommit(
+                0, tsw, TswActive, TswCommitted, now,
+                /*check_csts=*/false);
+            now += cr.latency;
+            ASSERT_EQ(cr.outcome, CommitOutcome::Committed);
+            for (const auto &[a, v] : spec)
+                model[a] = v;
+            ++commits;
+            break;
+          }
+          case HtmTransition::VoluntaryAbort:
+            now += m.memsys().abortTx(0, now);
+            ++voluntary;
+            break;
+          case HtmTransition::CapacityAbort:
+            // Same hardware action as any abort: flash-discard.  The
+            // model keeps every pre-episode value.
+            now += m.memsys().abortTx(0, now);
+            ++capacity;
+            break;
+        }
+        ctx.inTx = false;
+        ctx.rsig.clear();
+        ctx.wsig.clear();
+    }
+
+    // The sweep must have exercised every expected transition.
+    EXPECT_GT(commits, 0u);
+    EXPECT_GT(voluntary, 0u);
+    EXPECT_GT(capacity, 0u);
+
+    for (const auto &[a, v] : model) {
+        std::uint64_t got = 0;
+        m.memsys().peek(a, &got, 8);
+        ASSERT_EQ(got, v);
+    }
+}
+
+/** The real HyTM runtime under random footprints: transitions are
+ *  classified consistently (every commit is exactly one of HTM or
+ *  slow-path; tiny bounds force capacity aborts and the fallback),
+ *  and no update is ever lost. */
+TEST(CoherenceFuzzTx, HytmRuntimeRandomFootprintsConserveUpdates)
+{
+    constexpr unsigned threads = 4;
+    MachineConfig cfg = fuzzCfg(threads, 32 * 1024);
+    cfg.htmReadSetLines = 8;
+    cfg.htmWriteSetLines = 4;
+    cfg.htmRetryLimit = 2;
+    Machine m(cfg);
+    RuntimeFactory f(m, RuntimeKind::HyTm);
+
+    constexpr unsigned cells = 16;
+    const Addr base = m.memory().allocate(cells * lineBytes, lineBytes);
+
+    std::vector<std::unique_ptr<TxThread>> ts;
+    std::uint64_t issued = 0;  // committed single-cell increments
+    for (unsigned i = 0; i < threads; ++i)
+        ts.push_back(f.makeThread(i, i));
+    for (unsigned i = 0; i < threads; ++i) {
+        TxThread *t = ts[i].get();
+        m.scheduler().spawn(i, [t, base, &issued] {
+            for (unsigned k = 0; k < 60; ++k) {
+                // Footprints from 1 to 8 lines: beyond 4 the write
+                // bound guarantees a capacity abort and, after the
+                // retry budget, the TL2 slow path.
+                const unsigned span = 1 + t->rng().nextInt(8);
+                const unsigned start = t->rng().nextInt(cells);
+                t->txn([&] {
+                    for (unsigned j = 0; j < span; ++j) {
+                        const Addr a =
+                            base + ((start + j) % cells) * lineBytes;
+                        const auto v = t->load<std::uint64_t>(a);
+                        t->store<std::uint64_t>(a, v + 1);
+                    }
+                });
+                issued += span;  // exactly once per committed txn
+            }
+        });
+    }
+    m.run();
+
+    // Conservation: the sum of all cells equals the total number of
+    // committed single-cell increments.
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < cells; ++i) {
+        std::uint64_t v = 0;
+        m.memsys().peek(base + i * lineBytes, &v, 8);
+        total += v;
+    }
+    EXPECT_EQ(total, issued);
+    std::uint64_t txns = 0;
+    for (auto &t : ts)
+        txns += t->commits();
+    EXPECT_EQ(txns, std::uint64_t{threads} * 60);
+
+    // Transition accounting: every committed transaction took exactly
+    // one of the two paths, and the tiny bounds really forced both
+    // capacity aborts and slow-path commits.
+    const auto c = [&](const char *n) {
+        return m.stats().counterValue(n);
+    };
+    EXPECT_EQ(c("hytm.htm_commits") + c("hytm.slow_commits"),
+              c("tx.commits"));
+    EXPECT_GT(c("hytm.htm_commits"), 0u);
+    EXPECT_GT(c("hytm.slow_commits"), 0u);
+    EXPECT_GT(c("hytm.capacity_aborts"), 0u);
 }
 
 } // anonymous namespace

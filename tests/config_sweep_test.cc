@@ -222,9 +222,9 @@ TEST(Determinism, SingleThreadResultsAgreeAcrossRuntimes)
         return out;
     };
     const auto ref = final_state(RuntimeKind::Cgl);
-    for (RuntimeKind rk :
-         {RuntimeKind::FlexTmEager, RuntimeKind::FlexTmLazy,
-          RuntimeKind::Rstm, RuntimeKind::Tl2, RuntimeKind::RtmF}) {
+    for (RuntimeKind rk : allRuntimeKinds()) {
+        if (rk == RuntimeKind::Cgl)
+            continue;
         EXPECT_EQ(final_state(rk), ref) << runtimeKindName(rk);
     }
 }
@@ -288,6 +288,63 @@ TEST(DramConfigValidation, MachineConstructionRunsTheValidator)
     cfg.memBackend = MemBackendKind::Dram;
     cfg.dram.channels = 0;
     EXPECT_DEATH(Machine m(cfg), "channels must be nonzero");
+}
+
+// ---- Bounded-HTM knob validation --------------------------------
+//
+// Same policy as the DRAM knobs: validateHtmConfig runs before any
+// HyTM shared state is built, so a HyTM machine cannot come up on
+// capacity bounds the hardware could not implement.
+
+TEST(HtmConfigValidation, RejectsReadSetWithoutSubscriptionRoom)
+{
+    MachineConfig c;
+    c.htmReadSetLines = 0;
+    EXPECT_DEATH(validateHtmConfig(c),
+                 "htmReadSetLines must be at least 2");
+    c.htmReadSetLines = 1;  // no room beside the gate subscription
+    EXPECT_DEATH(validateHtmConfig(c),
+                 "htmReadSetLines must be at least 2");
+}
+
+TEST(HtmConfigValidation, RejectsZeroWriteSet)
+{
+    MachineConfig c;
+    c.htmWriteSetLines = 0;
+    EXPECT_DEATH(validateHtmConfig(c),
+                 "htmWriteSetLines must be nonzero");
+}
+
+TEST(HtmConfigValidation, RejectsZeroRetryLimit)
+{
+    MachineConfig c;
+    c.htmRetryLimit = 0;
+    EXPECT_DEATH(validateHtmConfig(c), "htmRetryLimit must be nonzero");
+}
+
+TEST(HtmConfigValidation, RejectsWriteBoundTheL1CannotRetain)
+{
+    MachineConfig c;
+    c.l1Ways = 2;
+    c.victimEntries = 0;
+    c.htmWriteSetLines = 16;  // > ways + victim entries
+    EXPECT_DEATH(validateHtmConfig(c),
+                 "exceeds what the L1 can retain");
+}
+
+TEST(HtmConfigValidation, FactoryConstructionRunsTheValidator)
+{
+    MachineConfig cfg;
+    cfg.cores = 2;
+    cfg.memoryBytes = 64u << 20;
+    cfg.htmRetryLimit = 0;
+    Machine m(cfg);
+    // Only building a HyTM runtime consults the HTM knobs; the other
+    // runtimes must keep working on the same (invalid-for-HyTM)
+    // config.
+    RuntimeFactory ok(m, RuntimeKind::FlexTmLazy);
+    EXPECT_DEATH(RuntimeFactory f(m, RuntimeKind::HyTm),
+                 "htmRetryLimit must be nonzero");
 }
 
 } // anonymous namespace

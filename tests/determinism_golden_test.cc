@@ -26,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/runtime_factory.hh"
 #include "workloads/fault_harness.hh"
 
 namespace flextm
@@ -148,6 +149,8 @@ const Golden kGoldens[] = {
      {192, 83, 152, 6440, 8564, 99209, 0xa15361a7278f097eull}},
     {RuntimeKind::RtmF, "RtmF",
      {192, 91, 691, 6431, 8128, 90821, 0x9fba5d086fd24f6full}},
+    {RuntimeKind::HyTm, "HyTm",
+     {192, 174, 353, 6433, 8311, 81985, 0x4c78ababdfb7650eull}},
 };
 
 class DeterminismGolden : public ::testing::TestWithParam<Golden>
@@ -188,6 +191,26 @@ INSTANTIATE_TEST_SUITE_P(AllRuntimes, DeterminismGolden,
                          [](const auto &info) {
                              return std::string(info.param.name);
                          });
+
+/** Teeth: registering a runtime without recording its golden (or
+ *  unregistering one while its golden lingers) fails here, so a new
+ *  runtime cannot silently skip the determinism contract. */
+TEST(DeterminismGolden, EveryRegisteredRuntimeHasExactlyOneGolden)
+{
+    const auto &kinds = allRuntimeKinds();
+    for (RuntimeKind rk : kinds) {
+        unsigned found = 0;
+        for (const Golden &g : kGoldens)
+            if (g.rk == rk)
+                ++found;
+        EXPECT_EQ(found, 1u)
+            << "registered runtime " << runtimeKindName(rk)
+            << " must have exactly one determinism golden "
+               "(regenerate with FLEXTM_GOLDEN_PRINT=1)";
+    }
+    EXPECT_EQ(std::size(kGoldens), kinds.size())
+        << "goldens recorded for unregistered runtimes";
+}
 
 } // namespace
 } // namespace flextm

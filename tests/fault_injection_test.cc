@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "runtime/runtime_factory.hh"
 #include "sim/fault.hh"
 #include "sim/parallel.hh"
 #include "workloads/fault_harness.hh"
@@ -28,8 +29,8 @@ constexpr WorkloadKind kWorkloads[] = {
 };
 constexpr unsigned kSeedsPerCell = 3;
 
-/** Distinct seeds for every (runtime, workload, k) cell: 72 total
- *  across the six per-runtime sweep tests below. */
+/** Distinct seeds for every (runtime, workload, k) cell across the
+ *  per-runtime sweep tests below (12 per registered runtime). */
 std::uint64_t
 cellSeed(unsigned rt_index, unsigned wl_index, unsigned k)
 {
@@ -37,6 +38,21 @@ cellSeed(unsigned rt_index, unsigned wl_index, unsigned k)
            (std::uint64_t{rt_index} * std::size(kWorkloads) + wl_index) *
                kSeedsPerCell +
            k;
+}
+
+/** Position in the registry doubles as the seed index, so every
+ *  runtime's sweep cells stay on the seeds their goldens were
+ *  recorded against as new runtimes append to the registry. */
+unsigned
+registryIndex(RuntimeKind rk)
+{
+    const auto &kinds = allRuntimeKinds();
+    for (unsigned i = 0; i < kinds.size(); ++i)
+        if (kinds[i] == rk)
+            return i;
+    ADD_FAILURE() << "runtime " << runtimeKindName(rk)
+                  << " is not registered";
+    return 0;
 }
 
 void
@@ -73,12 +89,24 @@ sweepRuntime(RuntimeKind rk, unsigned rt_index)
 
 } // anonymous namespace
 
-TEST(FaultSweep, FlexTmEager) { sweepRuntime(RuntimeKind::FlexTmEager, 0); }
-TEST(FaultSweep, FlexTmLazy) { sweepRuntime(RuntimeKind::FlexTmLazy, 1); }
-TEST(FaultSweep, Cgl) { sweepRuntime(RuntimeKind::Cgl, 2); }
-TEST(FaultSweep, Rstm) { sweepRuntime(RuntimeKind::Rstm, 3); }
-TEST(FaultSweep, Tl2) { sweepRuntime(RuntimeKind::Tl2, 4); }
-TEST(FaultSweep, RtmF) { sweepRuntime(RuntimeKind::RtmF, 5); }
+class FaultSweep : public ::testing::TestWithParam<RuntimeKind>
+{
+};
+
+TEST_P(FaultSweep, SerializableUnderChaos)
+{
+    sweepRuntime(GetParam(), registryIndex(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, FaultSweep, ::testing::ValuesIn(allRuntimeKinds()),
+    [](const ::testing::TestParamInfo<RuntimeKind> &info) {
+        std::string n = runtimeKindName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
 
 /** Forced TMI evictions must drive the Overflow Table through its
  *  spill and refill paths - and the history must stay serializable. */

@@ -204,9 +204,7 @@ TEST_P(NestingMatrix, PartialRollbackEverywhere)
 
 INSTANTIATE_TEST_SUITE_P(
     AllRuntimes, NestingMatrix,
-    ::testing::Values(RuntimeKind::FlexTmEager, RuntimeKind::FlexTmLazy,
-                      RuntimeKind::Cgl, RuntimeKind::Rstm,
-                      RuntimeKind::Tl2, RuntimeKind::RtmF),
+    ::testing::ValuesIn(allRuntimeKinds()),
     [](const ::testing::TestParamInfo<RuntimeKind> &info) {
         std::string n = runtimeKindName(info.param);
         for (auto &c : n)

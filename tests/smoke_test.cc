@@ -84,9 +84,7 @@ TEST_P(CounterRace, NoLostUpdates)
 
 INSTANTIATE_TEST_SUITE_P(
     AllRuntimes, CounterRace,
-    ::testing::Values(RuntimeKind::FlexTmEager, RuntimeKind::FlexTmLazy,
-                      RuntimeKind::Cgl, RuntimeKind::Rstm,
-                      RuntimeKind::Tl2, RuntimeKind::RtmF),
+    ::testing::ValuesIn(allRuntimeKinds()),
     [](const ::testing::TestParamInfo<RuntimeKind> &info) {
         std::string n = runtimeKindName(info.param);
         for (auto &c : n)
