@@ -35,6 +35,10 @@ opsFor(WorkloadKind wk)
       case WorkloadKind::VacationLow:
       case WorkloadKind::VacationHigh:
         return 480;
+      case WorkloadKind::HotSpot:
+        return 480;
+      case WorkloadKind::CyclicConflict:
+        return 320;
       default:
         return 1600;
     }

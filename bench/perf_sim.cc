@@ -29,6 +29,10 @@
  * the flat-latency trajectory stays comparable across PRs.  A second
  * side cell does the same for the HyTM runtime (hytm_baseline /
  * hytm_current), since HyTm postdates the frozen 6-runtime matrix.
+ * A third side cell (cm_baseline / cm_current) runs the adversarial
+ * hot-spot workload under the TimestampGreedy contention manager -
+ * the policy suite's trajectory tracker, also outside the frozen
+ * (implicitly all-Polka) matrix.
  *
  * --quick runs a 6-cell subset (one workload, one seed per runtime)
  * with no JSON output - the perf-smoke ctest entry, so the harness
@@ -72,6 +76,8 @@ struct Cell
     std::uint64_t seed;
     /** Run with the banked DRAM backend instead of flat latency. */
     bool dram = false;
+    /** Contention-management policy (the frozen matrix is all-Polka). */
+    CmPolicy policy = CmPolicy::Polka;
 };
 
 struct CellResult
@@ -137,6 +143,7 @@ runCell(const Cell &c)
     opt.threads = kThreads;
     opt.totalOps = kTotalOps;
     opt.quiet = true;
+    opt.cmPolicy = c.policy;
     if (c.dram)
         opt.machine.memBackend = MemBackendKind::Dram;
     FaultRunResult r = runFaultedExperiment(c.wk, c.rk, opt);
@@ -368,6 +375,19 @@ main(int argc, char **argv)
                  hytm.wallSeconds,
                  static_cast<unsigned long long>(hytm.simCycles));
 
+    // One contention-management cell: the adversarial hot-spot storm
+    // under TimestampGreedy, beside the frozen (all-Polka) matrix.
+    const std::vector<Cell> cmCells = {
+        Cell{RuntimeKind::FlexTmEager, WorkloadKind::HotSpot, 7400,
+             /*dram=*/false, CmPolicy::TimestampGreedy}};
+    Totals cm;
+    if (!runMatrix(cmCells, 1, cm))
+        return 1;
+    std::fprintf(stderr,
+                 "perf_sim: cm cell %.2fs, %llu sim cycles\n",
+                 cm.wallSeconds,
+                 static_cast<unsigned long long>(cm.simCycles));
+
     if (quick) {
         std::fprintf(stderr, "perf_sim: quick mode, no JSON output\n");
         return 0;
@@ -380,12 +400,15 @@ main(int argc, char **argv)
     bool have_dram_baseline = false;
     Totals hytmBaseline;
     bool have_hytm_baseline = false;
+    Totals cmBaseline;
+    bool have_cm_baseline = false;
     if (!record_baseline && readFile(out_path, prior)) {
         have_baseline = loadTotals(prior, "baseline", baseline);
         have_dram_baseline =
             loadTotals(prior, "dram_baseline", dramBaseline);
         have_hytm_baseline =
             loadTotals(prior, "hytm_baseline", hytmBaseline);
+        have_cm_baseline = loadTotals(prior, "cm_baseline", cmBaseline);
     }
     if (!have_baseline) {
         if (!record_baseline)
@@ -414,12 +437,22 @@ main(int argc, char **argv)
         hytmBaseline = hytm;
         have_hytm_baseline = true;
     }
+    if (!have_cm_baseline) {
+        if (!record_baseline)
+            std::fprintf(stderr,
+                         "perf_sim: no cm baseline in %s; recording "
+                         "this run's cm cell as its baseline\n",
+                         out_path.c_str());
+        cmBaseline = cm;
+        have_cm_baseline = true;
+    }
 
     // Same matrix => same simulated work.  A mismatch means a perf
     // change altered simulation behaviour; fail loudly.
     if (!matrixMatches("flat", baseline, serial) ||
         !matrixMatches("dram", dramBaseline, dram) ||
-        !matrixMatches("hytm", hytmBaseline, hytm)) {
+        !matrixMatches("hytm", hytmBaseline, hytm) ||
+        !matrixMatches("cm", cmBaseline, cm)) {
         return 1;
     }
 
@@ -440,7 +473,7 @@ main(int argc, char **argv)
     std::fprintf(f, "{\n");
     std::fprintf(f,
                  "  \"bench\": \"perf_sim\",\n"
-                 "  \"schema\": 3,\n"
+                 "  \"schema\": 4,\n"
                  "  \"matrix\": {\n"
                  "    \"runtimes\": 6,\n"
                  "    \"workloads\": 3,\n"
@@ -457,6 +490,8 @@ main(int argc, char **argv)
     writeSection(f, "dram_current", dram, true);
     writeSection(f, "hytm_baseline", hytmBaseline, true);
     writeSection(f, "hytm_current", hytm, true);
+    writeSection(f, "cm_baseline", cmBaseline, true);
+    writeSection(f, "cm_current", cm, true);
     std::fprintf(f,
                  "  \"speedup_serial\": %.3f,\n"
                  "  \"speedup_best\": %.3f\n"

@@ -146,7 +146,7 @@ TxOs::resumeMigrated(FlexTmThread &t)
         ++m_.stats().counter("os.migration_aborts");
         // Abort-and-restart: lazy versioning does not move TMI
         // ownership between cores.
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Fault};
     }
     panic("migrate of a thread that is not suspended");
 }

@@ -1,5 +1,6 @@
 #include "runtime/cgl_runtime.hh"
 
+#include "runtime/conflict_manager.hh"
 #include "sim/logging.hh"
 
 namespace flextm
@@ -8,13 +9,15 @@ namespace flextm
 void
 CglThread::beginTx()
 {
-    // Test-and-test-and-set with modest back-off.
+    // Test-and-test-and-set; the spin window between probes is the
+    // only degree of freedom contention policy has here (critical
+    // sections cannot abort), so its shape is the policy's.
     unsigned spins = 0;
     for (;;) {
         if (casWord(g_.lockAddr, 0, 1, 8).success)
             return;
         while (plainRead(g_.lockAddr, 8) != 0) {
-            work(8 + rng_.nextInt(8u << (spins < 6 ? spins : 6)));
+            m_.cmPolicy().mutexWaitRound(*this, spins);
             ++spins;
         }
     }

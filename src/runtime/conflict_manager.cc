@@ -1,7 +1,15 @@
 #include "runtime/conflict_manager.hh"
 
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "mem/memory_system.hh"
 #include "runtime/tx_thread.hh"
+#include "sim/auditor.hh"
 #include "sim/logging.hh"
+#include "sim/progress.hh"
 
 namespace flextm
 {
@@ -16,45 +24,173 @@ cmPolicyName(CmPolicy p)
         return "Aggressive";
       case CmPolicy::Timid:
         return "Timid";
+      case CmPolicy::TimestampGreedy:
+        return "TimestampGreedy";
+      case CmPolicy::RandomizedBackoff:
+        return "RandomizedBackoff";
+      case CmPolicy::SerialIrrevocableFirst:
+        return "SerialIrrevocableFirst";
     }
     return "?";
 }
 
-void
-PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
-                      const PolkaHooks &hooks, CmPolicy policy)
+CmPolicy
+envCmPolicy(CmPolicy fallback)
 {
-    if (policy == CmPolicy::Timid) {
-        if (hooks.enemyActive()) {
-            ++self.ctr_.cmSelfAborts;
-            throw TxAbort{};
-        }
-        return;
-    }
+    const char *e = std::getenv("FLEXTM_CM_POLICY");
+    if (e == nullptr || *e == '\0')
+        return fallback;
+    if (std::strcmp(e, "polka") == 0)
+        return CmPolicy::Polka;
+    if (std::strcmp(e, "aggressive") == 0)
+        return CmPolicy::Aggressive;
+    if (std::strcmp(e, "timid") == 0)
+        return CmPolicy::Timid;
+    if (std::strcmp(e, "timestamp") == 0 ||
+        std::strcmp(e, "timestamp-greedy") == 0)
+        return CmPolicy::TimestampGreedy;
+    if (std::strcmp(e, "randomized") == 0 ||
+        std::strcmp(e, "randomized-backoff") == 0 ||
+        std::strcmp(e, "backoff") == 0)
+        return CmPolicy::RandomizedBackoff;
+    if (std::strcmp(e, "serial") == 0 ||
+        std::strcmp(e, "serial-irrevocable-first") == 0)
+        return CmPolicy::SerialIrrevocableFirst;
+    sim_warn("FLEXTM_CM_POLICY=%s not recognized (want polka / "
+             "aggressive / timid / timestamp / randomized / serial); "
+             "keeping %s",
+             e, cmPolicyName(fallback));
+    return fallback;
+}
 
+CmPolicyBase::~CmPolicyBase() = default;
+
+Counter &
+CmPolicyBase::selfAborts(TxThread &t)
+{
+    return t.ctr_.cmSelfAborts;
+}
+
+Counter &
+CmPolicyBase::enemyAborts(TxThread &t)
+{
+    return t.ctr_.cmEnemyAborts;
+}
+
+Counter &
+CmPolicyBase::backoffs(TxThread &t)
+{
+    return t.ctr_.cmBackoffs;
+}
+
+Counter &
+CmPolicyBase::irrevocableStalls(TxThread &t)
+{
+    return t.ctr_.cmIrrevocableStalls;
+}
+
+void
+CmPolicyBase::checkHooks(const PolkaHooks &hooks)
+{
+    sim_assert(hooks.enemyActive && hooks.abortEnemy &&
+                   hooks.enemyKarma && hooks.enemyIrrevocable,
+               "conflict-manager hooks incomplete (enemyActive, "
+               "abortEnemy, enemyKarma and enemyIrrevocable are all "
+               "mandatory)");
+}
+
+void
+CmPolicyBase::noteConflict(TxThread &self, const PolkaHooks &hooks)
+{
+    if (!hooks.enemyCore)
+        return;
+    if (StateAuditor *a = self.machine().memsys().auditor())
+        a->noteCmConflict(self.core(), hooks.enemyCore());
+}
+
+void
+CmPolicyBase::killEnemy(TxThread &self, const PolkaHooks &hooks)
+{
+    if (hooks.enemyCore) {
+        // The policy's irrevocability check may sit on the far side
+        // of a yield (enemyKarma charges simulated time for the
+        // descriptor read), and the token is only ever acquired at
+        // transaction begin: an enemy that is irrevocable *now*
+        // grabbed the token in such a window and must not be killed.
+        // Re-checked through the host-side peek (enemyIrrevocable
+        // may charge cycles in lock-based runtimes).  Skipping is
+        // safe - if the conflict is still real it recurs, and the
+        // next resolve round sees the token and stalls.
+        const CoreId victim = hooks.enemyCore();
+        if (victim != invalidCore &&
+            self.machine().progress().isIrrevocableCore(victim))
+            return;
+        if (StateAuditor *a = self.machine().memsys().auditor()) {
+            // In lock-based runtimes the owner may have changed since
+            // the conflict was first observed (resolve loops yield
+            // between protocol actions), so re-record the conflict
+            // against the enemy as identified *now* - both peeks are
+            // host-side with no yield in between, so the justification
+            // and the kill note name the same core.  I9's teeth are
+            // kills with no conflict path at all and kills of the
+            // irrevocability-token holder.
+            a->noteCmConflict(self.core(), hooks.enemyCore());
+            a->noteEnemyAbort(self.machine().scheduler().now(),
+                              self.core(), hooks.enemyCore());
+        }
+    }
+    hooks.abortEnemy();
+    ++enemyAborts(self);
+}
+
+void
+CmPolicyBase::stallRound(TxThread &self, unsigned interval)
+{
+    const unsigned s = interval < 8 ? interval : 8;
+    const Cycles base = Cycles{16} << s;
+    self.work(base / 2 + self.rng().nextInt(base));
+    ++irrevocableStalls(self);
+}
+
+void
+CmPolicyBase::backoffRound(TxThread &self, unsigned interval)
+{
+    const Cycles base = Cycles{16} << interval;
+    self.work(base / 2 + self.rng().nextInt(base));
+    ++backoffs(self);
+}
+
+void
+CmPolicyBase::selfAbort(TxThread &self)
+{
+    ++selfAborts(self);
+    throw TxAbort{AbortCause::CmSelf};
+}
+
+void
+CmPolicyBase::karmaResolve(TxThread &self, std::uint64_t my_karma,
+                           const PolkaHooks &hooks, bool aggressive)
+{
     const unsigned max_patience =
         self.machine().config().progress.cmMaxPatience;
     for (unsigned interval = 0;;) {
         if (!hooks.enemyActive())
             return;
+        noteConflict(self, hooks);
         if (hooks.alertCheck)
             hooks.alertCheck();
 
         // The serial-irrevocable fallback overrides every policy:
         // an irrevocable enemy may not be aborted; stall (noticing
         // our own death via alertCheck above) until it drains.
-        if (hooks.enemyIrrevocable && hooks.enemyIrrevocable()) {
-            const unsigned s = interval < 8 ? interval : 8;
-            const Cycles base = Cycles{16} << s;
-            self.work(base / 2 + self.rng().nextInt(base));
-            ++self.ctr_.cmIrrevocableStalls;
+        if (hooks.enemyIrrevocable()) {
+            stallRound(self, interval);
             ++interval;
             continue;
         }
 
-        if (policy == CmPolicy::Aggressive) {
-            hooks.abortEnemy();
-            ++self.ctr_.cmEnemyAborts;
+        if (aggressive) {
+            killEnemy(self, hooks);
             return;
         }
 
@@ -71,16 +207,346 @@ PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
             patience = 1;
 
         if (interval >= patience) {
-            hooks.abortEnemy();
-            ++self.ctr_.cmEnemyAborts;
+            killEnemy(self, hooks);
             return;
         }
         // Randomized exponential back-off interval.
-        const Cycles base = Cycles{16} << interval;
-        self.work(base / 2 + self.rng().nextInt(base));
-        ++self.ctr_.cmBackoffs;
+        backoffRound(self, interval);
         ++interval;
     }
+}
+
+void
+CmPolicyBase::lazyCommitGate(TxThread &, const LazyCommitView &)
+{
+    // Committer wins: at CAS-Commit the committer sits at its
+    // linearization point; the kills that follow are justified by
+    // the CST bits the hardware recorded.
+}
+
+void
+CmPolicyBase::lockWaitRound(TxThread &self, const PolkaHooks &,
+                            unsigned round)
+{
+    // Historical TL2 owner wait: bounded patience, then yield the
+    // attempt (the committing owner drains in bounded time, but a
+    // parked owner must not wedge us).  The irrevocable committer
+    // never gives up - it may not abort.
+    if (round > 4 && !self.irrevocable())
+        throw TxAbort{AbortCause::CmSelf};
+    self.work(16u << std::min(round, 8u));
+}
+
+void
+CmPolicyBase::mutexWaitRound(TxThread &self, unsigned round)
+{
+    // Historical CGL spin shape: linear-then-capped-exponential
+    // randomized window.
+    self.work(8 + self.rng().nextInt(8u << (round < 6 ? round : 6)));
+}
+
+void
+CmPolicyBase::htmConflict(TxThread &)
+{
+    // Bounded HTM resolves requester-side in hardware: the
+    // conflicting access aborts the local transaction, no charge.
+    throw TxAbort{AbortCause::CmSelf};
+}
+
+void
+CmPolicyBase::onAborted(TxThread &)
+{
+}
+
+namespace
+{
+
+class PolkaPolicy : public CmPolicyBase
+{
+  public:
+    PolkaPolicy() : CmPolicyBase(CmPolicy::Polka) {}
+
+    void
+    resolve(TxThread &self, std::uint64_t my_karma,
+            const PolkaHooks &hooks) override
+    {
+        checkHooks(hooks);
+        karmaResolve(self, my_karma, hooks, false);
+    }
+};
+
+class AggressivePolicy : public CmPolicyBase
+{
+  public:
+    AggressivePolicy() : CmPolicyBase(CmPolicy::Aggressive) {}
+
+    void
+    resolve(TxThread &self, std::uint64_t my_karma,
+            const PolkaHooks &hooks) override
+    {
+        checkHooks(hooks);
+        karmaResolve(self, my_karma, hooks, true);
+    }
+};
+
+class TimidPolicy : public CmPolicyBase
+{
+  public:
+    TimidPolicy() : CmPolicyBase(CmPolicy::Timid) {}
+
+    void
+    resolve(TxThread &self, std::uint64_t,
+            const PolkaHooks &hooks) override
+    {
+        checkHooks(hooks);
+        if (hooks.enemyActive()) {
+            noteConflict(self, hooks);
+            selfAbort(self);
+        }
+    }
+};
+
+/**
+ * Oldest-transaction-wins on the first-attempt begin stamp.  The
+ * stamp order is total (core id breaks ties) and a victim keeps its
+ * stamp across retries, so arbitration is deadlock-free by
+ * construction and the oldest transaction in any conflict cycle
+ * always advances.
+ */
+class TimestampGreedyPolicy : public CmPolicyBase
+{
+  public:
+    TimestampGreedyPolicy() : CmPolicyBase(CmPolicy::TimestampGreedy)
+    {
+    }
+
+    void
+    resolve(TxThread &self, std::uint64_t my_karma,
+            const PolkaHooks &hooks) override
+    {
+        checkHooks(hooks);
+        if (!hooks.enemyCore) {
+            // No identity to stamp (scripted conflicts): karma order
+            // is the closest total order available.
+            karmaResolve(self, my_karma, hooks, false);
+            return;
+        }
+        ProgressManager &pm = self.machine().progress();
+        for (unsigned interval = 0;;) {
+            if (!hooks.enemyActive())
+                return;
+            noteConflict(self, hooks);
+            if (hooks.alertCheck)
+                hooks.alertCheck();
+            if (hooks.enemyIrrevocable()) {
+                stallRound(self, interval);
+                ++interval;
+                continue;
+            }
+            if (self.irrevocable()) {
+                // Token holder: may not die, enemy is not the
+                // holder - take it down.
+                killEnemy(self, hooks);
+                return;
+            }
+            const std::uint64_t mine =
+                pm.arbitrationStamp(self.core());
+            const std::uint64_t theirs =
+                pm.arbitrationStamp(hooks.enemyCore());
+            if (mine <= theirs) {
+                killEnemy(self, hooks);
+                return;
+            }
+            selfAbort(self);
+        }
+    }
+
+    void
+    lazyCommitGate(TxThread &self,
+                   const LazyCommitView &view) override
+    {
+        // Kill only younger enemies: an older active enemy wins the
+        // commit race - yield before any CST is consumed.
+        ProgressManager &pm = self.machine().progress();
+        if (self.irrevocable())
+            return;
+        const std::uint64_t mine = pm.arbitrationStamp(self.core());
+        for (std::uint64_t m = view.activeEnemies; m != 0;
+             m &= m - 1) {
+            const CoreId k = static_cast<CoreId>(
+                std::countr_zero(m));
+            if (view.enemyStamp(k) < mine)
+                selfAbort(self);
+        }
+    }
+};
+
+/**
+ * Requester-abort only: seeded exponential back-off while the enemy
+ * is in the way, then yield the attempt.  No enemy is ever killed
+ * (except by the irrevocability-token holder, whose guarantee is
+ * machine policy, not contention policy); forward progress rests on
+ * the escalation threshold and the watchdog.
+ */
+class RandomizedBackoffPolicy : public CmPolicyBase
+{
+  public:
+    RandomizedBackoffPolicy()
+        : CmPolicyBase(CmPolicy::RandomizedBackoff)
+    {
+    }
+
+    void
+    resolve(TxThread &self, std::uint64_t,
+            const PolkaHooks &hooks) override
+    {
+        checkHooks(hooks);
+        const unsigned max_patience =
+            self.machine().config().progress.cmMaxPatience;
+        for (unsigned interval = 0;;) {
+            if (!hooks.enemyActive())
+                return;
+            noteConflict(self, hooks);
+            if (hooks.alertCheck)
+                hooks.alertCheck();
+            if (hooks.enemyIrrevocable()) {
+                stallRound(self, interval);
+                ++interval;
+                continue;
+            }
+            if (self.irrevocable()) {
+                // The token holder may neither die nor stall
+                // unboundedly behind a peer that is itself stalled
+                // on our irrevocability.
+                killEnemy(self, hooks);
+                return;
+            }
+            if (interval >= max_patience)
+                selfAbort(self);
+            backoffRound(self, interval);
+            ++interval;
+        }
+    }
+
+    void
+    lazyCommitGate(TxThread &self,
+                   const LazyCommitView &view) override
+    {
+        if (self.irrevocable())
+            return;
+        if (view.activeEnemies != 0)
+            selfAbort(self);
+    }
+
+    void
+    lockWaitRound(TxThread &self, const PolkaHooks &,
+                  unsigned round) override
+    {
+        if (round > 4 && !self.irrevocable())
+            selfAbort(self);
+        const Cycles base = Cycles{16} << std::min(round, 8u);
+        self.work(base / 2 + self.rng().nextInt(base));
+        ++backoffs(self);
+    }
+
+    bool requesterAbortsOnly() const override { return true; }
+};
+
+/**
+ * First conflict resolves like Polka; a transaction that aborted and
+ * conflicts again escalates straight to the PR 2 serial-
+ * irrevocability token and retries unkillable.
+ */
+class SerialIrrevocableFirstPolicy : public CmPolicyBase
+{
+  public:
+    SerialIrrevocableFirstPolicy()
+        : CmPolicyBase(CmPolicy::SerialIrrevocableFirst)
+    {
+    }
+
+    void
+    resolve(TxThread &self, std::uint64_t my_karma,
+            const PolkaHooks &hooks) override
+    {
+        checkHooks(hooks);
+        ProgressManager &pm = self.machine().progress();
+        if (!self.irrevocable() &&
+            pm.consecutiveAborts(self.tid()) >= 1 &&
+            hooks.enemyActive()) {
+            noteConflict(self, hooks);
+            pm.forceEscalate(self.tid());
+            selfAbort(self);
+        }
+        karmaResolve(self, my_karma, hooks, false);
+    }
+
+    [[noreturn]] void
+    htmConflict(TxThread &self) override
+    {
+        ProgressManager &pm = self.machine().progress();
+        if (pm.consecutiveAborts(self.tid()) >= 1)
+            pm.forceEscalate(self.tid());
+        throw TxAbort{AbortCause::CmSelf};
+    }
+
+    void
+    lockWaitRound(TxThread &self, const PolkaHooks &,
+                  unsigned round) override
+    {
+        if (round > 4 && !self.irrevocable()) {
+            self.machine().progress().forceEscalate(self.tid());
+            throw TxAbort{AbortCause::CmSelf};
+        }
+        self.work(16u << std::min(round, 8u));
+    }
+
+    void
+    onAborted(TxThread &self) override
+    {
+        // Runtimes whose conflicts surface only as kills or
+        // validation failures (FlexTM-lazy victims, TL2): a repeat
+        // abort is a repeat conflict - claim the token for the next
+        // attempt.
+        ProgressManager &pm = self.machine().progress();
+        if (pm.consecutiveAborts(self.tid()) >= 2)
+            pm.forceEscalate(self.tid());
+    }
+};
+
+} // namespace
+
+CmPolicyBase &
+cmPolicyFor(CmPolicy kind)
+{
+    static PolkaPolicy polka;
+    static AggressivePolicy aggressive;
+    static TimidPolicy timid;
+    static TimestampGreedyPolicy timestamp;
+    static RandomizedBackoffPolicy randomized;
+    static SerialIrrevocableFirstPolicy serial;
+    switch (kind) {
+      case CmPolicy::Polka:
+        return polka;
+      case CmPolicy::Aggressive:
+        return aggressive;
+      case CmPolicy::Timid:
+        return timid;
+      case CmPolicy::TimestampGreedy:
+        return timestamp;
+      case CmPolicy::RandomizedBackoff:
+        return randomized;
+      case CmPolicy::SerialIrrevocableFirst:
+        return serial;
+    }
+    panic("unknown CmPolicy %u", static_cast<unsigned>(kind));
+}
+
+void
+PolkaManager::resolve(TxThread &self, std::uint64_t my_karma,
+                      const PolkaHooks &hooks, CmPolicy policy)
+{
+    cmPolicyFor(policy).resolve(self, my_karma, hooks);
 }
 
 } // namespace flextm

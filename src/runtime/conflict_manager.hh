@@ -1,16 +1,33 @@
 /**
  * @file
- * Conflict management policy (Section 3.6 / 7.2).
+ * Pluggable conflict management (Section 3.6 / 7.2).
  *
  * FlexTM deliberately leaves conflict management to software: the
  * hardware only reports conflicts (response messages in eager mode,
- * CST bits in lazy mode).  All runtimes in this repository use the
- * Polka policy of Scherer & Scott [32], as the paper does: a
- * transaction's priority ("karma") is the amount of work it has
- * invested; on conflict the attacker backs off a number of
- * exponentially growing intervals proportional to the priority
- * deficit, re-checking whether the enemy is still in the way, and
- * aborts the enemy once its patience is exhausted.
+ * CST bits in lazy mode).  The paper evaluates the Polka policy of
+ * Scherer & Scott [32] throughout and calls out the study of
+ * management-policy interplay as future work; this file is that
+ * study's substrate.  Every runtime routes its arbitration decisions
+ * through the machine-wide CmPolicyBase object (selected by
+ * MachineConfig::cmPolicy / FLEXTM_CM_POLICY) via the PolkaHooks
+ * contract, so policies compose with all seven runtimes:
+ *
+ *  - resolve()        hook-based arbitration against one enemy
+ *                     (FlexTM eager responses, RSTM/RTM-F locked
+ *                     headers, scripted conflicts in tests);
+ *  - lazyCommitGate() the FlexTM-lazy commit window, before the
+ *                     committer copies-and-clears its CSTs and kills
+ *                     the marked enemies;
+ *  - lockWaitRound()  one round of waiting on TL2's commit locks;
+ *  - mutexWaitRound() one round of CGL's lock spin (CGL cannot
+ *                     abort, so only the back-off shape is policy);
+ *  - htmConflict()    a bounded-HTM (HyTM) conflict report;
+ *  - onAborted()      post-abort note so escalating policies see
+ *                     victims in runtimes that only self-abort.
+ *
+ * The Polka implementations of all of these reproduce the historical
+ * behaviour bit-identically (the determinism goldens are recorded
+ * against them).
  */
 
 #ifndef FLEXTM_RUNTIME_CONFLICT_MANAGER_HH
@@ -19,12 +36,16 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/config.hh"
+#include "sim/types.hh"
+
 namespace flextm
 {
 
 class TxThread;
+struct Counter;
 
-/** Hooks a runtime supplies so Polka can act on an enemy. */
+/** Hooks a runtime supplies so a policy can act on an enemy. */
 struct PolkaHooks
 {
     /** Is the enemy transaction still in the way?  (Charges the cost
@@ -45,39 +66,172 @@ struct PolkaHooks
      * Is the enemy running under the serial-irrevocable fallback?
      * An irrevocable enemy is never aborted, whatever the policy:
      * the attacker stalls (re-checking its own status) until the
-     * enemy drains.  Optional; absent means "never".
+     * enemy drains.  Mandatory: an absent hook used to silently mean
+     * "never irrevocable", which let a policy kill the token holder.
      */
     std::function<bool()> enemyIrrevocable;
+    /**
+     * Core the enemy transaction runs on.  Must be a host-side peek
+     * (no simulated cycles): timestamp arbitration and the I9
+     * progressiveness audit consult it between protocol actions.
+     * Optional; absent degrades TimestampGreedy to karma order and
+     * skips the per-conflict audit note.
+     */
+    std::function<CoreId()> enemyCore;
 };
 
 /**
- * Conflict-management policies.  The paper evaluates Polka
- * throughout and calls out the study of management-policy interplay
- * as future work; Aggressive and Timid are the classic extreme
- * points (Scherer & Scott) kept for the policy ablation.
+ * The FlexTM-lazy commit window, presented to lazyCommitGate():
+ * which CST-marked enemies are still active, and their arbitration
+ * stamps.  Built from host-side peeks only.
  */
-enum class CmPolicy
+struct LazyCommitView
 {
-    Polka,       //!< back off proportionally to karma, then attack
-    Aggressive,  //!< always abort the enemy immediately
-    Timid        //!< always abort self on conflict
+    /** Bitmask of CST (W-R | W-W) enemies whose TSW is still
+     *  Active. */
+    std::uint64_t activeEnemies = 0;
+    /** Arbitration stamp of the transaction on a core (see
+     *  ProgressManager::arbitrationStamp). */
+    std::function<std::uint64_t(CoreId)> enemyStamp;
 };
 
 const char *cmPolicyName(CmPolicy p);
 
-/** The contention manager. */
-class PolkaManager
+/** FLEXTM_CM_POLICY override:
+ *  polka / aggressive / timid / timestamp / randomized / serial. */
+CmPolicy envCmPolicy(CmPolicy fallback);
+
+/**
+ * One contention-management policy.  Policies are stateless (all
+ * per-thread state lives in TxThread / ProgressManager), so each is
+ * a process-wide singleton shared by concurrently running machines.
+ */
+class CmPolicyBase
 {
   public:
+    explicit CmPolicyBase(CmPolicy kind) : kind_(kind) {}
+    virtual ~CmPolicyBase();
+
+    CmPolicyBase(const CmPolicyBase &) = delete;
+    CmPolicyBase &operator=(const CmPolicyBase &) = delete;
+
+    CmPolicy kind() const { return kind_; }
+    const char *name() const { return cmPolicyName(kind_); }
+
     /**
-     * Resolve one conflict under @p policy.  Returns when the enemy
-     * has committed, aborted, or been aborted by us; throws TxAbort
-     * if this transaction should die instead (Timid self-abort, or
+     * Resolve one conflict.  Returns when the enemy has committed,
+     * aborted, or been aborted by us; throws TxAbort if this
+     * transaction should die instead (requester-abort policies, or
      * the alertCheck hook noticing we were killed while waiting).
      *
      * @param self     the attacking thread (for back-off timing)
      * @param my_karma attacker's priority
      */
+    virtual void resolve(TxThread &self, std::uint64_t my_karma,
+                         const PolkaHooks &hooks) = 0;
+
+    /**
+     * FlexTM-lazy commit window: called before the committer
+     * copies-and-clears its CSTs and kills the marked enemies, i.e.
+     * while throwing TxAbort still leaves every CST intact.  The
+     * default is committer-wins (a no-op): at CAS-Commit the
+     * committer sits at its linearization point.  Requester-abort
+     * and timestamp policies yield here instead.
+     */
+    virtual void lazyCommitGate(TxThread &self,
+                                const LazyCommitView &view);
+
+    /**
+     * One round of waiting on a TL2 commit-lock owner (the caller
+     * re-probes the lock between rounds).  @p round starts at 1.
+     * May throw TxAbort (the caller releases held locks first).
+     */
+    virtual void lockWaitRound(TxThread &self, const PolkaHooks &hooks,
+                               unsigned round);
+
+    /**
+     * One round of CGL's global-lock spin.  CGL critical sections
+     * cannot abort, so implementations must never throw - only the
+     * back-off shape is policy.  @p round starts at 0.
+     */
+    virtual void mutexWaitRound(TxThread &self, unsigned round);
+
+    /**
+     * A bounded-HTM (HyTM) conflict report: hardware transactions
+     * resolve conflicts requester-side, so the default self-aborts
+     * with no extra charge.  Escalating policies may claim the token
+     * for the retry first.  Always throws TxAbort.
+     */
+    [[noreturn]] virtual void htmConflict(TxThread &self);
+
+    /**
+     * Post-abort note from TxThread::txn (host-side, after
+     * ProgressManager::txnAborted).  Lets escalating policies see
+     * victims in runtimes whose conflicts surface only as
+     * self-aborts (TL2, HyTM) or commit-window kills (FlexTM-lazy).
+     */
+    virtual void onAborted(TxThread &self);
+
+    /**
+     * True when the policy never kills enemies (requester-abort
+     * only); the FlexTM-lazy committer then consults
+     * lazyCommitGate() instead of unconditionally killing.
+     */
+    virtual bool requesterAbortsOnly() const { return false; }
+
+  protected:
+    /** @name Shared helpers (TxThread grants friendship to the base
+     *  class only, so derived policies reach counters through
+     *  these). */
+    /// @{
+    static Counter &selfAborts(TxThread &t);
+    static Counter &enemyAborts(TxThread &t);
+    static Counter &backoffs(TxThread &t);
+    static Counter &irrevocableStalls(TxThread &t);
+
+    /** Require every mandatory hook (enemyIrrevocable included). */
+    static void checkHooks(const PolkaHooks &hooks);
+
+    /** Note the observed conflict with the auditor (I9): host-side,
+     *  zero simulated cycles; no-op without auditor or enemyCore. */
+    static void noteConflict(TxThread &self, const PolkaHooks &hooks);
+
+    /** Abort the enemy: I9 note, abortEnemy(), counter. */
+    static void killEnemy(TxThread &self, const PolkaHooks &hooks);
+
+    /** One randomized stall interval behind an irrevocable enemy
+     *  (shift capped at 8), bumping cm.irrevocable_stalls. */
+    static void stallRound(TxThread &self, unsigned interval);
+
+    /** One randomized exponential back-off interval, bumping
+     *  cm.backoffs. */
+    static void backoffRound(TxThread &self, unsigned interval);
+
+    /** Requester-side abort: counter + throw TxAbort{CmSelf}. */
+    [[noreturn]] static void selfAbort(TxThread &self);
+
+    /** The classic karma loop shared by Polka, Aggressive and
+     *  SerialIrrevocableFirst's first-conflict path; bit-identical
+     *  to the historical PolkaManager::resolve. */
+    static void karmaResolve(TxThread &self, std::uint64_t my_karma,
+                             const PolkaHooks &hooks, bool aggressive);
+    /// @}
+
+  private:
+    const CmPolicy kind_;
+};
+
+/** The process-wide singleton for @p kind. */
+CmPolicyBase &cmPolicyFor(CmPolicy kind);
+
+/**
+ * Historical entry point, kept so scripted-conflict tests and
+ * benches can arbitrate under an explicit policy without a Machine
+ * reconfiguration; forwards to cmPolicyFor(policy).resolve().
+ */
+class PolkaManager
+{
+  public:
     static void resolve(TxThread &self, std::uint64_t my_karma,
                         const PolkaHooks &hooks,
                         CmPolicy policy = CmPolicy::Polka);

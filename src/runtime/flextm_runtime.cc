@@ -110,13 +110,13 @@ FlexTmThread::checkAlert()
 
     if (strongAborted_) {
         ++g_.siAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     }
     // The handler inspects the TSW; if an enemy aborted us, unroll.
     const auto tsw =
         static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
     if (tsw == TswAborted)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     if (cause == AlertCause::Capacity) {
         // The marked line was evicted; re-establish the watch.
         charge(m_.memsys().aload(core_, tswAddr_, m_.scheduler().now()));
@@ -153,8 +153,8 @@ FlexTmThread::handleEagerConflicts(std::uint64_t enemies)
         hooks.enemyIrrevocable = [this, k] {
             return m_.progress().isIrrevocableCore(k);
         };
-        PolkaManager::resolve(*this, g_.karma[core_], hooks,
-                              g_.cmPolicy);
+        hooks.enemyCore = [k] { return k; };
+        m_.cmPolicy().resolve(*this, g_.karma[core_], hooks);
 
         // Do NOT retire k's bits from our CSTs here.  resolve()'s
         // last enemy-status read yields before returning, so core k
@@ -228,7 +228,31 @@ FlexTmThread::commitTx()
         });
         if (defer) {
             ++g_.commitDefers;
-            throw TxAbort{};
+            throw TxAbort{AbortCause::IrrevocableDefer};
+        }
+
+        // Policy gate, same pre-copy-and-clear position as the defer
+        // check: requester-abort and timestamp policies yield the
+        // commit window to still-active enemies instead of killing
+        // them.  Built from host-side peeks only (zero simulated
+        // cycles), and a no-op under the default committer-wins
+        // policies, so the Polka path is untouched.
+        {
+            LazyCommitView view;
+            ConflictSummaryTable::forEach(
+                c.cst.wr.raw() | c.cst.ww.raw(), [&](CoreId k) {
+                    const Addr enemy_tsw = g_.tswOf[k];
+                    if (k == core_ || enemy_tsw == 0)
+                        return;
+                    std::uint32_t tsw = 0;
+                    m_.memsys().peek(enemy_tsw, &tsw, 4);
+                    if (tsw == TswActive)
+                        view.activeEnemies |= std::uint64_t{1} << k;
+                });
+            view.enemyStamp = [this](CoreId k) {
+                return m_.progress().arbitrationStamp(k);
+            };
+            m_.cmPolicy().lazyCommitGate(*this, view);
         }
 
         // 1. copy-and-clear W-R and W-W registers
@@ -246,6 +270,20 @@ FlexTmThread::commitTx()
         ConflictSummaryTable::forEach(enemies, [&](CoreId k) {
             const Addr enemy_tsw = g_.tswOf[k];
             if (enemy_tsw != 0 && k != core_) {
+                // The defer sweep above ran before this loop's yield
+                // windows, and the token is only ever acquired at
+                // transaction begin: an enemy that is irrevocable
+                // *now* began a fresh transaction after the conflict
+                // this bit records, so the bit is stale and the
+                // token holder may not be killed.  If the fresh
+                // transaction genuinely conflicts, its new CST bits
+                // fail the CAS-Commit below and the retry defers.
+                if (m_.progress().isIrrevocableCore(k))
+                    return;
+                // I9: the kill is justified by the CST bit that put
+                // k into the enemies mask.
+                if (StateAuditor *a = m_.memsys().auditor())
+                    a->noteEnemyAbort(m_.scheduler().now(), core_, k);
                 CasOutcome o =
                     casWord(enemy_tsw, TswActive, TswAborted, 4);
                 if (o.success)
@@ -295,7 +333,7 @@ FlexTmThread::commitTx()
           case CommitOutcome::FailedAborted:
             // An enemy beat us to our own TSW; the controller has
             // already flash-aborted our speculative state.
-            throw TxAbort{};
+            throw TxAbort{AbortCause::EnemyKill};
         }
     }
 }
@@ -430,12 +468,12 @@ FlexTmThread::osDeliverAlert()
         auditor->noteSettling(core_, true);
     if (strongAborted_) {
         ++g_.siAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     }
     const auto tsw =
         static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
     if (tsw == TswAborted)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     // A capacity alert is dropped: the watch is torn down across the
     // switch anyway and osRestore re-ALoads an active TSW.  Settling
     // deliberately stays on: the TSW stays marked-but-unwatched until
@@ -463,7 +501,7 @@ FlexTmThread::osRestore(const OsSavedState &in)
     const auto tsw =
         static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
     if (tsw != TswActive)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     charge(m_.memsys().aload(core_, tswAddr_, m_.scheduler().now()));
     if (StateAuditor *a = m_.memsys().auditor()) {
         // Re-register with CST tracking off: peers that committed

@@ -59,10 +59,6 @@ struct FlexTmGlobals
     /** Per-core Polka priority of the running transaction. */
     std::vector<std::uint64_t> karma;
 
-    /** Conflict-management policy used in eager mode (default:
-     *  Polka, as in all of the paper's experiments). */
-    CmPolicy cmPolicy = CmPolicy::Polka;
-
     /** Commit/abort-time cleanup of our bits in remote CSTs, the
      *  "clean itself out of X's W-R" optimization (Section 3.6). */
     bool cstSelfClean = true;

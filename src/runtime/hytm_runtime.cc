@@ -1,6 +1,7 @@
 #include "runtime/hytm_runtime.hh"
 
 #include "mem/memory_system.hh"
+#include "runtime/conflict_manager.hh"
 #include "sim/auditor.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -66,7 +67,7 @@ HyTmThread::HyTmThread(Machine &m, HyTmGlobals &g, ThreadId tid,
         if (slowMode_)
             return;
         ++hg_.spuriousAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Fault};
     });
 }
 
@@ -172,7 +173,7 @@ HyTmThread::beginTx()
         // A slow-path transaction slipped in between the spin and the
         // subscription; its plain write-backs would be invisible now.
         ++hg_.gateAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     }
 
     // Register checkpoint (no descriptor, no AOU arm: begin is what
@@ -186,18 +187,19 @@ HyTmThread::postAccessCheck(const MemResult &r)
 {
     if (overflowed_) {
         ++hg_.capacityAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Capacity};
     }
     if (strongAborted_) {
         ++hg_.conflictAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     }
     if (r.threatenedBy | r.exposedReadBy) {
         // Requester-self-abort conflict policy: die before issuing
         // any further protocol action, so a surviving peer's stale
-        // CST bits only ever name dead transactions.
+        // CST bits only ever name dead transactions.  The policy
+        // decides whether the retry escalates (it always throws).
         ++hg_.conflictAborts;
-        throw TxAbort{};
+        m_.cmPolicy().htmConflict(*this);
     }
 }
 
@@ -210,7 +212,7 @@ HyTmThread::txRead(Addr a, unsigned size)
     if (!readSet_.contains(line) &&
         readSet_.size() >= m_.config().htmReadSetLines) {
         ++hg_.capacityAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Capacity};
     }
     std::uint64_t v = 0;
     MemResult r = m_.memsys().access(core_, AccessType::TLoad, a, size,
@@ -230,7 +232,7 @@ HyTmThread::txWrite(Addr a, std::uint64_t v, unsigned size)
     if (!writeSet_.contains(line) &&
         writeSet_.size() >= m_.config().htmWriteSetLines) {
         ++hg_.capacityAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Capacity};
     }
     MemResult r = m_.memsys().access(core_, AccessType::TStore, a, size,
                                      &v, m_.scheduler().now());
@@ -253,11 +255,11 @@ HyTmThread::commitTx()
     // CAS-Commit below, so nothing can invalidate them in between.
     if (overflowed_) {
         ++hg_.capacityAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Capacity};
     }
     if (strongAborted_) {
         ++hg_.conflictAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     }
 
     // check_csts=false: under requester-self-abort the accumulated
@@ -275,7 +277,7 @@ HyTmThread::commitTx()
         // Defensive: no HyTM peer ever CASes our TSW, but a harness
         // driving the machine directly could.
         ++hg_.conflictAborts;
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     }
     resetHwTxState();
     ++hg_.htmCommits;
@@ -307,7 +309,7 @@ HyTmThread::injectSpuriousAlert()
     if (slowMode_)
         return;
     ++hg_.spuriousAborts;
-    throw TxAbort{};
+    throw TxAbort{AbortCause::Fault};
 }
 
 void

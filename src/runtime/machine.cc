@@ -1,5 +1,8 @@
 #include "runtime/machine.hh"
 
+#include "runtime/conflict_manager.hh"
+#include "sim/auditor.hh"
+
 namespace flextm
 {
 
@@ -21,8 +24,19 @@ Machine::Machine(const MachineConfig &cfg)
     // Same idea for the main-memory timing backend:
     // FLEXTM_MEM_BACKEND=fixed|dram.
     cfg_.memBackend = envMemBackend(cfg_.memBackend);
+    // And for the contention-management policy:
+    // FLEXTM_CM_POLICY=polka|aggressive|timid|timestamp|randomized|
+    // serial.
+    cfg_.cmPolicy = envCmPolicy(cfg_.cmPolicy);
+    cmPolicy_ = &cmPolicyFor(cfg_.cmPolicy);
     memsys_ =
         std::make_unique<MemorySystem>(cfg_, mem_, contexts_, stats_);
+    // The I9 progressiveness check must know who holds the
+    // irrevocability token; the auditor has no ProgressManager
+    // access of its own.
+    if (StateAuditor *a = memsys_->auditor())
+        a->setIrrevocableCoreQuery(
+            [this](CoreId c) { return progress_.isIrrevocableCore(c); });
     fault_.configure(cfg_.fault, cfg_.seed);
     if (fault_.enabled()) {
         sched_.setFaultPlan(&fault_);

@@ -29,6 +29,7 @@ namespace flextm
 {
 
 class TxOracle;
+class CmPolicyBase;
 
 /**
  * Thrown out of TxThread::charge when the machine's run deadline is
@@ -64,6 +65,11 @@ class Machine
 
     /** Forward-progress layer (escalation, irrevocability, watchdog). */
     ProgressManager &progress() { return progress_; }
+
+    /** The machine-wide contention-management policy object
+     *  (MachineConfig::cmPolicy after the FLEXTM_CM_POLICY
+     *  override; a stateless process-wide singleton). */
+    CmPolicyBase &cmPolicy() { return *cmPolicy_; }
 
     /** @name Run deadline
      *  When nonzero, TxThread::charge throws DeadlineExceeded once a
@@ -113,6 +119,7 @@ class Machine
     Scheduler sched_;
     FaultPlan fault_;
     ProgressManager progress_;
+    CmPolicyBase *cmPolicy_ = nullptr;
     Cycles deadline_ = 0;
     TxOracle *oracle_ = nullptr;
 };

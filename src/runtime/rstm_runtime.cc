@@ -94,7 +94,7 @@ RstmThread::checkStatus()
     const auto tsw =
         static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
     if (tsw == TswAborted)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
 }
 
 void
@@ -124,7 +124,14 @@ RstmThread::resolveOwner(Addr header)
         return isLocked(w) &&
                m_.progress().isIrrevocableCore(lockOwner(w));
     };
-    PolkaManager::resolve(*this, g_.karma[core_], hooks);
+    hooks.enemyCore = [this, header] {
+        // Host-side peek: identification for the auditor/arbitration
+        // must not perturb the timed memory traffic.
+        std::uint64_t w = 0;
+        m_.memsys().peek(header, &w, 8);
+        return isLocked(w) ? lockOwner(w) : invalidCore;
+    };
+    m_.cmPolicy().resolve(*this, g_.karma[core_], hooks);
 }
 
 void
@@ -152,7 +159,7 @@ RstmThread::validateReadSet()
             if (consistent)
                 return;
         }
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Validation};
     });
     ++m_.stats().counter("rstm.validations");
 }
@@ -286,7 +293,7 @@ RstmThread::commitTx()
     oracleStamp();
     validateReadSet();
     if (!casWord(tswAddr_, TswActive, TswCommitted, 4).success)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
     releaseWrites(true);
     readSet_.clear();
     g_.tswOf[core_] = 0;

@@ -111,12 +111,12 @@ RtmfThread::checkAlert()
         auditor->noteSettling(core_, true);
 
     if (strongAborted_)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
 
     const auto tsw =
         static_cast<std::uint32_t>(plainRead(tswAddr_, 4));
     if (tsw == TswAborted)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
 
     if (lineAlign(alert_addr) == lineAlign(tswAddr_) &&
         cause == AlertCause::Capacity) {
@@ -155,9 +155,9 @@ RtmfThread::revalidateReadHeaders()
         if (isLocked(cur) && lockOwner(cur) == core_) {
             auto it = acquired_.find(header);
             if (it == acquired_.end() || it->second != word)
-                throw TxAbort{};
+                throw TxAbort{AbortCause::Validation};
         } else if (cur != word) {
-            throw TxAbort{};
+            throw TxAbort{AbortCause::Validation};
         }
         // Re-establish the AOU watch lost to the invalidation.
         charge(m_.memsys().aload(core_, header, m_.scheduler().now()));
@@ -189,7 +189,14 @@ RtmfThread::resolveOwner(Addr header)
         return isLocked(w) &&
                m_.progress().isIrrevocableCore(lockOwner(w));
     };
-    PolkaManager::resolve(*this, g_.karma[core_], hooks);
+    hooks.enemyCore = [this, header] {
+        // Host-side peek: identification for the auditor/arbitration
+        // must not perturb the timed memory traffic.
+        std::uint64_t w = 0;
+        m_.memsys().peek(header, &w, 8);
+        return isLocked(w) ? lockOwner(w) : invalidCore;
+    };
+    m_.cmPolicy().resolve(*this, g_.karma[core_], hooks);
 }
 
 void
@@ -326,7 +333,7 @@ RtmfThread::commitTx()
         oracleStamp();  // serialization point, before charge() yields
     charge(cr.latency);
     if (cr.outcome != CommitOutcome::Committed)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::EnemyKill};
 
     releaseAll(true);
     HwContext &c = ctx();

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "mem/memory_system.hh"
+#include "runtime/conflict_manager.hh"
 #include "sim/logging.hh"
+#include "sim/progress.hh"
 
 namespace flextm
 {
@@ -106,13 +109,13 @@ Tl2Thread::txRead(Addr a, unsigned size)
     const Addr lock = g_.lockFor(a);
     const std::uint64_t l1 = plainRead(lock, 8);
     if (isLocked(l1) || l1 > rv_)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Validation};
 
     const std::uint64_t v = plainRead(a, size);
 
     const std::uint64_t l2 = plainRead(lock, 8);
     if (l2 != l1)
-        throw TxAbort{};
+        throw TxAbort{AbortCause::Validation};
 
     readSet_.emplace_back(lock, l1);
     logAppend(1);
@@ -152,6 +155,27 @@ Tl2Thread::commitTx()
     locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
 
     for (Addr lock : locks) {
+        PolkaHooks hooks;
+        hooks.enemyActive = [this, lock] {
+            const std::uint64_t w = plainRead(lock, 8);
+            return isLocked(w) && lockOwner(w) != core_;
+        };
+        // TL2 owners drain on their own; stripe locks have no abort
+        // handle, so "kill" is a no-op and policies fall back to
+        // waiting or requester-abort.
+        hooks.abortEnemy = [] {};
+        hooks.enemyKarma = [] { return std::uint64_t{0}; };
+        hooks.enemyIrrevocable = [this, lock] {
+            std::uint64_t w = 0;
+            m_.memsys().peek(lock, &w, 8);
+            return isLocked(w) &&
+                   m_.progress().isIrrevocableCore(lockOwner(w));
+        };
+        hooks.enemyCore = [this, lock] {
+            std::uint64_t w = 0;
+            m_.memsys().peek(lock, &w, 8);
+            return isLocked(w) ? lockOwner(w) : invalidCore;
+        };
         unsigned tries = 0;
         for (;;) {
             const std::uint64_t cur = plainRead(lock, 8);
@@ -163,14 +187,18 @@ Tl2Thread::commitTx()
             } else if (lockOwner(cur) == core_) {
                 break;  // already ours (aliasing stripes)
             }
-            // Under the serial-irrevocable fallback we must not give
-            // up: competitors stall at begin, so the lock holder is
-            // a draining in-flight transaction - wait it out.
-            if (++tries > 4 && !m_.progress().isIrrevocable(tid_)) {
+            // One policy-shaped wait round.  Under the serial-
+            // irrevocable fallback we must not give up: competitors
+            // stall at begin, so the lock holder is a draining
+            // in-flight transaction - wait it out.  On a requester
+            // abort the stripe locks acquired so far must be
+            // released before the unwind.
+            try {
+                m_.cmPolicy().lockWaitRound(*this, hooks, ++tries);
+            } catch (const TxAbort &) {
                 releaseHeld(true, 0);
-                throw TxAbort{};
+                throw;
             }
-            work(16u << std::min(tries, 8u));
         }
     }
 
@@ -198,7 +226,7 @@ Tl2Thread::commitTx()
             if (isLocked(cur)) {
                 if (lockOwner(cur) != core_) {
                     releaseHeld(true, 0);
-                    throw TxAbort{};
+                    throw TxAbort{AbortCause::Validation};
                 }
                 // Locked by us: validate against the pre-lock word
                 // (the version the stripe had when we acquired it).
@@ -211,7 +239,7 @@ Tl2Thread::commitTx()
             }
             if (isLocked(cur) || cur != ver) {
                 releaseHeld(true, 0);
-                throw TxAbort{};
+                throw TxAbort{AbortCause::Validation};
             }
         }
     }

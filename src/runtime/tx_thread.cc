@@ -1,5 +1,7 @@
 #include "runtime/tx_thread.hh"
 
+#include "runtime/conflict_manager.hh"
+#include "sim/auditor.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/oracle.hh"
@@ -7,6 +9,28 @@
 
 namespace flextm
 {
+
+const char *
+abortCauseName(AbortCause c)
+{
+    switch (c) {
+      case AbortCause::Unknown:
+        return "unknown";
+      case AbortCause::CmSelf:
+        return "cm_self";
+      case AbortCause::EnemyKill:
+        return "enemy_kill";
+      case AbortCause::Validation:
+        return "validation";
+      case AbortCause::Capacity:
+        return "capacity";
+      case AbortCause::Fault:
+        return "fault";
+      case AbortCause::IrrevocableDefer:
+        return "irrevocable_defer";
+    }
+    return "?";
+}
 
 TxThread::HotCounters::HotCounters(StatRegistry &s)
     : txCommits(s.counter("tx.commits")), txAborts(s.counter("tx.aborts")),
@@ -25,6 +49,11 @@ TxThread::HotCounters::HotCounters(StatRegistry &s)
 
 TxThread::TxThread(Machine &m, ThreadId tid, CoreId core)
     : m_(m), tid_(tid), core_(core), ctr_(m.stats()),
+      threadCommits_(m.stats().counter(
+          "thread." + std::to_string(tid) + ".commits")),
+      threadAborts_(m.stats().counter(
+          "thread." + std::to_string(tid) + ".aborts")),
+      commitLatency_(m.stats().histogram("tx.commit_latency")),
       rng_(m.deriveSeed(0x1000 + tid))
 {
 }
@@ -180,7 +209,7 @@ TxThread::injectRemoteAbort()
     // hardware runtimes override this to go through their status
     // word so the full enemy-abort machinery is exercised.
     ++ctr_.faultForcedAborts;
-    throw TxAbort{};
+    throw TxAbort{AbortCause::Fault};
 }
 
 void
@@ -335,25 +364,32 @@ TxThread::txn(const std::function<void()> &body)
 {
     sim_assert(!inTx_, "nested txn() (use subsumption inside body)");
     attempt_ = 0;
+    const Cycles txnStart = m_.scheduler().now();
     ProgressManager &pm = m_.progress();
     for (;;) {
         // Forward-progress gate: claim the irrevocability token when
         // escalated, or stall while another thread holds it.
         awaitTxnSlot();
         bool committed = false;
+        AbortCause cause = AbortCause::Unknown;
         TxOracle *oracle = m_.oracle();
         try {
             if (oracle)
                 oracle->beginTxn(tid_);
             pm.txnBegan(tid_, core_, m_.scheduler().now());
+            // Progressiveness (I9) bookkeeping opens with the
+            // attempt: conflicts recorded from here justify kills.
+            if (StateAuditor *a = m_.memsys().auditor())
+                a->noteCmTxnStart(core_);
             beginTx();
             inTx_ = true;
             body();
             sim_assert(!paused_,
                        "transaction body returned while paused");
             committed = commitTx();
-        } catch (const TxAbort &) {
+        } catch (const TxAbort &ab) {
             committed = false;
+            cause = ab.cause;
             paused_ = false;
             nestUndo_.clear();
             nestMarks_.clear();
@@ -370,6 +406,8 @@ TxThread::txn(const std::function<void()> &body)
             deferredFrees_.clear();
             ++commits_;
             ++ctr_.txCommits;
+            ++threadCommits_;
+            commitLatency_.add(m_.scheduler().now() - txnStart);
             if (StateAuditor *a = m_.memsys().auditor())
                 a->checkpoint(AuditScope::TxnBoundary,
                               m_.scheduler().now(), "tx_commit");
@@ -384,6 +422,10 @@ TxThread::txn(const std::function<void()> &body)
         deferredFrees_.clear();
         ++aborts_;
         ++ctr_.txAborts;
+        ++threadAborts_;
+        ++m_.stats().counter(std::string("aborts.byCause.") +
+                             abortCauseName(cause));
+        m_.cmPolicy().onAborted(*this);
         abortCleanup();
         if (StateAuditor *a = m_.memsys().auditor())
             a->checkpoint(AuditScope::TxnBoundary,

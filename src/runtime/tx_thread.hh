@@ -29,9 +29,29 @@
 namespace flextm
 {
 
+/**
+ * Why a transaction attempt died.  Tagged onto TxAbort at the throw
+ * site; txn() folds it into the machine-wide aborts.byCause.* and
+ * per-thread counters so starvation and its mechanism are visible in
+ * every run, not just the bench.
+ */
+enum class AbortCause : unsigned
+{
+    Unknown = 0,      //!< untagged legacy site
+    CmSelf,           //!< contention manager chose requester-abort
+    EnemyKill,        //!< an enemy CASed our status word
+    Validation,       //!< read-set / header validation failed
+    Capacity,         //!< bounded-HTM footprint overflow
+    Fault,            //!< injected fault (forced abort, ctx switch)
+    IrrevocableDefer, //!< commit deferred to the token holder
+};
+
+const char *abortCauseName(AbortCause c);
+
 /** Thrown by runtime internals to restart the current transaction. */
 struct TxAbort
 {
+    AbortCause cause = AbortCause::Unknown;
 };
 
 /** Thrown by abortNested() to unwind one closed-nesting level. */
@@ -280,7 +300,14 @@ class TxThread
         Counter &cmIrrevocableStalls;
     };
     HotCounters ctr_;
-    friend class PolkaManager;
+    friend class CmPolicyBase;
+
+    /** Per-thread commit/abort counters (thread.<tid>.*): the
+     *  starvation report reads these out of every run's stats. */
+    Counter &threadCommits_;
+    Counter &threadAborts_;
+    /** End-to-end commit latency (first attempt begin -> commit). */
+    Histogram &commitLatency_;
 
     Rng rng_;
     bool inTx_ = false;

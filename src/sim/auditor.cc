@@ -210,6 +210,48 @@ StateAuditor::noteHtmOverflow(CoreId core)
 }
 
 void
+StateAuditor::noteCmTxnStart(CoreId core)
+{
+    cores_[core].cmConflictHist = 0;
+}
+
+void
+StateAuditor::noteCmConflict(CoreId core, CoreId enemy)
+{
+    if (enemy == invalidCore || enemy >= cores_.size())
+        return;
+    cores_[core].cmConflictHist |= bit(enemy);
+    noteEvent(0, "cm_conflict", core, 0, enemy);
+}
+
+void
+StateAuditor::noteEnemyAbort(Cycles now, CoreId aggressor,
+                             CoreId victim)
+{
+    noteEvent(now, "cm_kill", aggressor, 0, victim);
+    if (victim == invalidCore || victim >= cores_.size())
+        return;
+    if (irrevocableCore_ && irrevocableCore_(victim)) {
+        violation(now, "I9 progressiveness", aggressor, 0,
+                  "core " + std::to_string(aggressor) +
+                      " killed the irrevocability-token holder on "
+                      "core " +
+                      std::to_string(victim));
+        return;
+    }
+    const PerCore &pc = cores_[aggressor];
+    const std::uint64_t justified = pc.cmConflictHist | pc.rwHist |
+                                    pc.wrHist | pc.wwHist;
+    if (!(justified & bit(victim)))
+        violation(now, "I9 progressiveness", aggressor, 0,
+                  "core " + std::to_string(aggressor) +
+                      " aborted core " + std::to_string(victim) +
+                      " without any recorded conflict (justified "
+                      "mask 0x" +
+                      toHex(justified) + ")");
+}
+
+void
 StateAuditor::noteEvent(Cycles now, const char *what, CoreId core,
                         Addr addr, std::uint64_t aux)
 {

@@ -45,6 +45,14 @@
  *                   with tracks_csts=false, so I4 still holds but I5
  *                   duality legitimately decays; I3/I6/I7 apply
  *                   unchanged.)
+ *  I9 progressive   Progressiveness (Kuznetsov & Ravi): every enemy
+ *                   abort a contention manager issues is justified by
+ *                   a conflict recorded with the aggressor this
+ *                   attempt - a CST bit (the I4 event log) or an
+ *                   observed-enemy note from the CM itself - and the
+ *                   irrevocability-token holder is never the victim.
+ *                   Checked eagerly at the kill, not in the sweep:
+ *                   the evidence is gone once the victim restarts.
  *
  * On violation the auditor prints a deterministic repro bundle - run
  * context (seed / runtime / workload from the oracle when attached),
@@ -63,6 +71,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -165,6 +174,30 @@ class StateAuditor
      *  left the L1); the transaction is doomed and its OT occupancy
      *  is justified until it aborts. */
     void noteHtmOverflow(CoreId core);
+
+    /** @name I9 progressiveness (contention-manager cooperation)
+     *
+     *  Software runtimes never call noteTxBegin, so the CM conflict
+     *  log is kept separately and opened by TxThread::txn for every
+     *  runtime. */
+    /// @{
+    /** A transaction attempt is starting on @p core: reset its CM
+     *  conflict log. */
+    void noteCmTxnStart(CoreId core);
+    /** The contention manager on @p core observed @p enemy in its
+     *  way (an eager conflict response, a locked header, a CST
+     *  bit). */
+    void noteCmConflict(CoreId core, CoreId enemy);
+    /** The contention manager on @p aggressor is killing the
+     *  transaction on @p victim: checked immediately against the
+     *  recorded conflicts and the irrevocability-token query. */
+    void noteEnemyAbort(Cycles now, CoreId aggressor, CoreId victim);
+    /** Who holds the irrevocability token (wired by Machine; the
+     *  auditor has no ProgressManager access). */
+    void setIrrevocableCoreQuery(std::function<bool(CoreId)> q)
+    {
+        irrevocableCore_ = std::move(q);
+    }
     /// @}
 
     /** Append one event to the repro trace ring. */
@@ -213,6 +246,10 @@ class StateAuditor
         bool htmBounded = false;
         bool htmOverflowAnnounced = false;
         unsigned htmReadBound = 0, htmWriteBound = 0;
+        /** I9: enemies the CM observed conflicting this attempt
+         *  (reset by noteCmTxnStart, independent of noteTxBegin so
+         *  software runtimes are covered too). */
+        std::uint64_t cmConflictHist = 0;
         FlatSet<Addr> readLines, writeLines;
     };
 
@@ -249,6 +286,8 @@ class StateAuditor
     Cycles lastCleanCycle_ = 0;
     std::uint64_t lastCleanSeq_ = 0;
     const char *lastCleanWhat_ = "start";
+
+    std::function<bool(CoreId)> irrevocableCore_;
 
     bool collect_ = false;
     bool inSweep_ = false;

@@ -59,6 +59,36 @@ struct ProgressConfig
     Cycles watchdogCycles = 5'000'000;
 };
 
+/**
+ * Conflict-management policies (Section 3.6 / 7.2).  FlexTM leaves
+ * conflict management to software, so the policy is machine-wide
+ * runtime configuration, not hardware: every runtime routes its
+ * arbitration decisions through the policy object the Machine owns
+ * (src/runtime/conflict_manager.hh).  The paper evaluates Polka
+ * throughout and calls out the policy-interplay study as future
+ * work; the suite here is that study's substrate.
+ */
+enum class CmPolicy : unsigned
+{
+    /** Back off proportionally to the karma deficit, then attack
+     *  (Scherer & Scott; the default, and the one all determinism
+     *  goldens are recorded against). */
+    Polka = 0,
+    Aggressive,  //!< always abort the enemy immediately
+    Timid,       //!< always abort self on conflict
+    /** Oldest-transaction-wins on the first-attempt begin stamp:
+     *  a total priority order, so deadlock-free by construction and
+     *  starvation-free (a victim keeps its stamp across retries). */
+    TimestampGreedy,
+    /** Seeded exponential back-off with requester-abort only: no
+     *  enemy is ever killed; progress rests on the escalation
+     *  token. */
+    RandomizedBackoff,
+    /** Escalate to the serial-irrevocability token immediately on a
+     *  repeat conflict (first conflict resolves like Polka). */
+    SerialIrrevocableFirst,
+};
+
 /** Which timing model sits behind the L2 (src/mem/dram/). */
 enum class MemBackendKind : unsigned
 {
@@ -212,6 +242,10 @@ struct MachineConfig
 
     /** Forward-progress policy (escalation on by default). */
     ProgressConfig progress;
+
+    /** Machine-wide contention-management policy (the
+     *  FLEXTM_CM_POLICY environment variable can override). */
+    CmPolicy cmPolicy = CmPolicy::Polka;
 
     /**
      * Directory sharer cache (host-side speedup only): memoize

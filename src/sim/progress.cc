@@ -21,6 +21,8 @@ ProgressManager::txnBegan(ThreadId tid, CoreId core, Cycles now)
         tp.active = true;
         ++activeCount_;
         tp.txnBegin = now;
+        if (tp.firstBegin == 0)
+            tp.firstBegin = now;
     }
     tp.core = core;
     // The watchdog window opens when activity starts, not at cycle 0:
@@ -42,6 +44,7 @@ ProgressManager::txnCommitted(ThreadId tid, Cycles now)
     }
     stats_.histogram("progress.aborts_to_commit").add(tp.consecAborts);
     tp.consecAborts = 0;
+    tp.firstBegin = 0;
     tp.forceEscalate = false;
     if (tokenHeld_ && tokenTid_ == tid) {
         tokenHeld_ = false;
@@ -128,6 +131,17 @@ bool
 ProgressManager::isIrrevocable(ThreadId tid) const
 {
     return tokenHeld_ && tokenTid_ == tid;
+}
+
+std::uint64_t
+ProgressManager::arbitrationStamp(CoreId c) const
+{
+    for (const auto &[tid, tp] : threads_) {
+        if (tp.active && tp.core == c)
+            return (static_cast<std::uint64_t>(tp.firstBegin) << 8) |
+                   (static_cast<std::uint64_t>(c) & 0xff);
+    }
+    return ~std::uint64_t{0};
 }
 
 bool

@@ -90,6 +90,16 @@ class ProgressManager
     bool isIrrevocableCore(CoreId c) const;
     /// @}
 
+    /**
+     * Total-order arbitration stamp of the transaction active on
+     * core @p c: (first-attempt begin cycle << 8) | core, so older
+     * transactions have smaller stamps, the core id breaks begin-
+     * cycle ties, and the stamp survives retries (a victim keeps its
+     * priority - the Greedy starvation-freedom ingredient).  ~0 when
+     * no transaction is active on the core (always loses).
+     */
+    std::uint64_t arbitrationStamp(CoreId c) const;
+
     /** Watchdog poll, called from the scheduler dispatch loop; cheap
      *  (one compare) unless the window has expired. */
     void watchdogPoll(Cycles now);
@@ -104,6 +114,10 @@ class ProgressManager
         bool forceEscalate = false;
         bool active = false;        //!< inside beginTx..commit/abort
         Cycles txnBegin = 0;
+        /** Begin cycle of the first attempt of the current
+         *  transaction (kept across retries; 0 between
+         *  transactions). */
+        Cycles firstBegin = 0;
         CoreId core = invalidCore;
     };
 

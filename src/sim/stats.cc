@@ -148,11 +148,14 @@ StatRegistry::dump() const
                     static_cast<unsigned long long>(slots_[h].value));
     for (const auto &[name, hh] : hindex_) {
         const Histogram &h = hslots_[hh];
-        std::printf("%-48s n=%llu mean=%.2f min=%llu med=%llu max=%llu\n",
+        std::printf("%-48s n=%llu mean=%.2f min=%llu med=%llu "
+                    "p99=%llu p999=%llu max=%llu\n",
                     name.c_str(),
                     static_cast<unsigned long long>(h.count()), h.mean(),
                     static_cast<unsigned long long>(h.min()),
                     static_cast<unsigned long long>(h.median()),
+                    static_cast<unsigned long long>(h.percentile(99.0)),
+                    static_cast<unsigned long long>(h.percentile(99.9)),
                     static_cast<unsigned long long>(h.max()));
     }
 }

@@ -1,0 +1,143 @@
+#include "workloads/adversarial.hh"
+
+#include "sim/logging.hh"
+
+namespace flextm
+{
+
+HotSpotWorkload::HotSpotWorkload(unsigned hot_lines,
+                                 unsigned cold_lines)
+    : hotLines_(hot_lines), coldLines_(cold_lines)
+{
+    sim_assert(hot_lines >= 1 && cold_lines >= 1);
+}
+
+void
+HotSpotWorkload::setup(TxThread &t)
+{
+    hotBase_ =
+        t.alloc(std::size_t{hotLines_} * lineBytes, lineBytes);
+    coldBase_ =
+        t.alloc(std::size_t{coldLines_} * lineBytes, lineBytes);
+    totalAddr_ = t.alloc(lineBytes, lineBytes);
+    for (unsigned i = 0; i < hotLines_; ++i)
+        t.store<std::uint64_t>(hotBase_ + std::size_t{i} * lineBytes,
+                               0);
+    for (unsigned i = 0; i < coldLines_; ++i)
+        t.store<std::uint64_t>(coldBase_ + std::size_t{i} * lineBytes,
+                               0);
+    t.store<std::uint64_t>(totalAddr_, 0);
+    // A couple of warm-up transactions so the timed phase starts on
+    // hot lines with history (directory state, karma).
+    for (unsigned i = 0; i < 4; ++i)
+        runOne(t);
+}
+
+void
+HotSpotWorkload::runOne(TxThread &t)
+{
+    const unsigned h =
+        static_cast<unsigned>(t.rng().nextInt(hotLines_));
+    const unsigned c =
+        static_cast<unsigned>(t.rng().nextInt(coldLines_));
+    const Addr hot = hotBase_ + std::size_t{h} * lineBytes;
+    const Addr cold = coldBase_ + std::size_t{c} * lineBytes;
+    t.txn([&] {
+        const auto hv = t.load<std::uint64_t>(hot);
+        const auto total = t.load<std::uint64_t>(totalAddr_);
+        // Widen the read->write window: every concurrent peer on the
+        // same hot line lands a W-R/W-W conflict here.
+        t.work(120);
+        const auto cv = t.load<std::uint64_t>(cold);
+        t.store<std::uint64_t>(cold, cv + 1);
+        t.store<std::uint64_t>(hot, hv + 1);
+        t.store<std::uint64_t>(totalAddr_, total + 1);
+    });
+}
+
+void
+HotSpotWorkload::verify(TxThread &t)
+{
+    // The hot slots and the total are only ever moved together,
+    // inside one transaction: their sum-equality survives exactly as
+    // long as atomicity does.
+    std::uint64_t hot_sum = 0;
+    t.txn([&] {
+        hot_sum = 0;
+        for (unsigned i = 0; i < hotLines_; ++i)
+            hot_sum += t.load<std::uint64_t>(
+                hotBase_ + std::size_t{i} * lineBytes);
+        const auto total = t.load<std::uint64_t>(totalAddr_);
+        sim_assert(hot_sum == total,
+                   "hot-spot invariant broken: slots sum to %llu, "
+                   "total says %llu",
+                   static_cast<unsigned long long>(hot_sum),
+                   static_cast<unsigned long long>(total));
+    });
+}
+
+CyclicConflictWorkload::CyclicConflictWorkload(unsigned slots)
+    : slots_(slots)
+{
+    sim_assert(slots >= 2);
+}
+
+Addr
+CyclicConflictWorkload::slotAddr(unsigned i) const
+{
+    return slotBase_ + std::size_t{i % slots_} * lineBytes;
+}
+
+void
+CyclicConflictWorkload::setup(TxThread &t)
+{
+    slotBase_ = t.alloc(std::size_t{slots_} * lineBytes, lineBytes);
+    totalAddr_ = t.alloc(lineBytes, lineBytes);
+    for (unsigned i = 0; i < slots_; ++i)
+        t.store<std::uint64_t>(slotAddr(i), 0);
+    t.store<std::uint64_t>(totalAddr_, 0);
+}
+
+void
+CyclicConflictWorkload::runOne(TxThread &t)
+{
+    const unsigned i =
+        static_cast<unsigned>(t.rng().nextInt(slots_));
+    const unsigned j = (i + 1) % slots_;
+    // Opposite traversal orders on neighbouring pairs: thread A
+    // holding slot i while waiting on slot j meets thread B holding
+    // j while waiting on i - the canonical conflict cycle.
+    const bool reversed = (t.tid() % 2) != 0;
+    const unsigned first = reversed ? j : i;
+    const unsigned second = reversed ? i : j;
+    t.txn([&] {
+        const auto v1 = t.load<std::uint64_t>(slotAddr(first));
+        // Long window with the first slot exposed: the peer's
+        // opposite-order access is near-guaranteed to interleave.
+        t.work(200);
+        const auto v2 = t.load<std::uint64_t>(slotAddr(second));
+        const auto total = t.load<std::uint64_t>(totalAddr_);
+        t.store<std::uint64_t>(slotAddr(first), v1 + 1);
+        t.store<std::uint64_t>(slotAddr(second), v2 + 1);
+        t.store<std::uint64_t>(totalAddr_, total + 2);
+    });
+}
+
+void
+CyclicConflictWorkload::verify(TxThread &t)
+{
+    std::uint64_t slot_sum = 0;
+    t.txn([&] {
+        slot_sum = 0;
+        for (unsigned i = 0; i < slots_; ++i)
+            slot_sum += t.load<std::uint64_t>(slotAddr(i));
+        const auto total = t.load<std::uint64_t>(totalAddr_);
+        sim_assert(slot_sum == total,
+                   "cyclic-conflict invariant broken: slots sum to "
+                   "%llu, total says %llu",
+                   static_cast<unsigned long long>(slot_sum),
+                   static_cast<unsigned long long>(total));
+    });
+}
+
+} // namespace flextm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Adversarial workloads for the contention-management suite: unlike
+ * the Table 3b benchmarks (built to measure throughput), these are
+ * built to make a policy fail - maximum conflict density, wide
+ * conflict windows, and deliberately cycle-prone access orders.
+ * They run through the fault harness (hot-spot storms under
+ * paging/context-switch floods, livelock-prone conflict cycles under
+ * schedule perturbation), swept policy x runtime x seed, and both
+ * carry a cross-line invariant (slot sums vs. a running total, kept
+ * atomic only by transactional semantics) so a progressiveness bug
+ * that corrupts state is caught structurally as well as by the
+ * oracle.
+ */
+
+#ifndef FLEXTM_WORKLOADS_ADVERSARIAL_HH
+#define FLEXTM_WORKLOADS_ADVERSARIAL_HH
+
+#include "workloads/workload.hh"
+
+namespace flextm
+{
+
+/**
+ * Hot-spot storm: every transaction read-modify-writes one of a
+ * handful of hot lines plus a global total, with a widened
+ * compute window between read and write so nearly every pair of
+ * concurrent transactions conflicts.  Starvation-prone by design:
+ * under requester-abort policies a thread can lose the hot line
+ * indefinitely unless escalation steps in.
+ */
+class HotSpotWorkload : public Workload
+{
+  public:
+    explicit HotSpotWorkload(unsigned hot_lines = 4,
+                             unsigned cold_lines = 64);
+
+    void setup(TxThread &t) override;
+    void runOne(TxThread &t) override;
+    void verify(TxThread &t) override;
+    const char *name() const override { return "HotSpot"; }
+
+  private:
+    unsigned hotLines_;
+    unsigned coldLines_;
+    Addr hotBase_ = 0;
+    Addr coldBase_ = 0;
+    Addr totalAddr_ = 0;
+};
+
+/**
+ * Livelock-prone cyclic-conflict generator: each transaction
+ * increments a neighbouring pair of slots in a ring, and odd threads
+ * traverse their pair in the opposite order to even threads, so
+ * concurrent transactions form wait/abort cycles (A holds i and
+ * wants j while B holds j and wants i).  Under a policy with no
+ * total order - mutual Aggressive kills, or symmetric Timid
+ * self-aborts - this is the workload that cycles forever; the
+ * watchdog and escalation are what bound it.
+ */
+class CyclicConflictWorkload : public Workload
+{
+  public:
+    explicit CyclicConflictWorkload(unsigned slots = 6);
+
+    void setup(TxThread &t) override;
+    void runOne(TxThread &t) override;
+    void verify(TxThread &t) override;
+    const char *name() const override { return "CyclicConflict"; }
+
+  private:
+    unsigned slots_;
+    Addr slotBase_ = 0;
+    Addr totalAddr_ = 0;
+
+    Addr slotAddr(unsigned i) const;
+};
+
+} // namespace flextm
+
+#endif // FLEXTM_WORKLOADS_ADVERSARIAL_HH

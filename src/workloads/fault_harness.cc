@@ -25,6 +25,7 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
         cfg.fault = FaultConfig::chaos(seed);
     else if (cfg.fault.seed == 0)
         cfg.fault.seed = seed;
+    cfg.cmPolicy = opt.cmPolicy;
 
     FaultRunResult res;
     res.seed = seed;
@@ -42,10 +43,8 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
 
     RuntimeFactory f(m, rk);
     FlexTmGlobals *g = f.flexGlobals();
-    if (g) {
+    if (g)
         g->chaosSkipWrAbort = opt.flexSkipWrAbort;
-        g->cmPolicy = opt.cmPolicy;
-    }
     std::unique_ptr<TxOs> os;
     if (g && opt.installOsFaults && m.faultPlan() != nullptr)
         os = std::make_unique<TxOs>(m, *g);
@@ -76,6 +75,9 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
         m.run();
     }
     const Cycles setup_end = m.scheduler().maxClock();
+    // Latency tails are scored over the parallel phase only - the
+    // single-threaded warm-up commits would dilute them.
+    m.stats().histogram("tx.commit_latency").clear();
 
     // Phase 2: parallel run under injection.  With a maxCycles
     // bound, every thread unwinds via DeadlineExceeded (thrown out
@@ -129,7 +131,16 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
     for (const auto &t : ts) {
         res.commits += t->commits();
         res.aborts += t->aborts();
+        res.threadCommits.push_back(t->commits());
+        res.threadAborts.push_back(t->aborts());
+        if (t->aborts() > 0 && t->commits() == 0)
+            ++res.starvedThreads;
     }
+    res.maxConsecAborts =
+        m.stats().counterValue("progress.max_consec_aborts");
+    const Histogram &lat = m.stats().histogram("tx.commit_latency");
+    res.commitLatencyP99 = lat.percentile(99.0);
+    res.commitLatencyP999 = lat.percentile(99.9);
     if (const FaultPlan *fp = m.faultPlan())
         res.faultsFired = fp->totalFired();
     res.otSpills = m.stats().counterValue("ot.spills");

@@ -17,6 +17,7 @@
 #define FLEXTM_WORKLOADS_FAULT_HARNESS_HH
 
 #include <string>
+#include <vector>
 
 #include "sim/fault.hh"
 #include "sim/oracle.hh"
@@ -94,6 +95,19 @@ struct FaultRunResult
     std::uint64_t irrevocableEntries = 0;
     /** Livelock-watchdog trips. */
     std::uint64_t watchdogTrips = 0;
+    /** Per-thread commits/aborts (index = parallel thread, not tid);
+     *  the progressiveness score sheet. */
+    std::vector<std::uint64_t> threadCommits;
+    std::vector<std::uint64_t> threadAborts;
+    /** Threads that aborted at least once but never committed - a
+     *  starved thread under a policy that claims progressiveness. */
+    unsigned starvedThreads = 0;
+    /** Worst consecutive-abort run any thread suffered. */
+    std::uint64_t maxConsecAborts = 0;
+    /** Commit-latency tail (cycles from final begin to commit,
+     *  parallel phase only; 0 when no commits). */
+    std::uint64_t commitLatencyP99 = 0;
+    std::uint64_t commitLatencyP999 = 0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "workloads/workload.hh"
 
 #include "sim/logging.hh"
+#include "workloads/adversarial.hh"
 #include "workloads/delaunay.hh"
 #include "workloads/hash_table.hh"
 #include "workloads/lfu_cache.hh"
@@ -30,6 +31,10 @@ workloadKindName(WorkloadKind k)
         return "Vacation-Low";
       case WorkloadKind::VacationHigh:
         return "Vacation-High";
+      case WorkloadKind::HotSpot:
+        return "HotSpot";
+      case WorkloadKind::CyclicConflict:
+        return "CyclicConflict";
     }
     return "?";
 }
@@ -54,6 +59,10 @@ makeWorkload(WorkloadKind k)
       case WorkloadKind::VacationHigh:
         return std::make_unique<VacationWorkload>(
             VacationWorkload::high());
+      case WorkloadKind::HotSpot:
+        return std::make_unique<HotSpotWorkload>();
+      case WorkloadKind::CyclicConflict:
+        return std::make_unique<CyclicConflictWorkload>();
     }
     panic("unknown workload");
 }
@@ -76,11 +85,10 @@ runCommon(WorkloadKind wk, RuntimeKind rk, const ExperimentOptions &opt)
     cfg.seed = opt.seed;
     if (cfg.cores < opt.threads)
         cfg.cores = opt.threads;
+    cfg.cmPolicy = opt.cmPolicy;
 
     Machine m(cfg);
     RuntimeFactory f(m, rk);
-    if (FlexTmGlobals *g = f.flexGlobals())
-        g->cmPolicy = opt.cmPolicy;
     std::unique_ptr<Workload> wl = makeWorkload(wk);
 
     // Phase 1: single-threaded warm-up (Section 7.2).
@@ -93,6 +101,7 @@ runCommon(WorkloadKind wk, RuntimeKind rk, const ExperimentOptions &opt)
     }
     const Cycles setup_end = m.scheduler().maxClock();
     m.stats().histogram("flextm.tx_conflicts").clear();
+    m.stats().histogram("tx.commit_latency").clear();
     const std::uint64_t spills_before =
         m.stats().counterValue("ot.spills");
 

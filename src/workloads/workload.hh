@@ -41,7 +41,7 @@ class Workload
     virtual const char *name() const = 0;
 };
 
-/** The workloads of Table 3b. */
+/** The workloads of Table 3b, plus the adversarial CM stress pack. */
 enum class WorkloadKind
 {
     HashTable,
@@ -50,7 +50,9 @@ enum class WorkloadKind
     RandomGraph,
     Delaunay,
     VacationLow,
-    VacationHigh
+    VacationHigh,
+    HotSpot,
+    CyclicConflict
 };
 
 const char *workloadKindName(WorkloadKind k);

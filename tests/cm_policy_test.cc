@@ -1,15 +1,20 @@
 /**
  * @file
- * Unit tests for PolkaManager::resolve driven through synthetic
- * hooks: the Aggressive and Timid extreme points, Polka's
- * deficit-proportional patience, the configurable patience cap, and
- * the serial-irrevocable override that outranks every policy.
+ * Unit tests for the pluggable contention-management suite driven
+ * through synthetic hooks: the Aggressive and Timid extreme points,
+ * Polka's deficit-proportional patience, the configurable patience
+ * cap, the serial-irrevocable override that outranks every policy,
+ * and the PR 7 additions - TimestampGreedy's oldest-wins
+ * arbitration, RandomizedBackoff's requester-abort discipline,
+ * SerialIrrevocableFirst's escalate-on-repeat-conflict, plus the
+ * lazy-commit gate / lock-wait / mutex-wait / HTM-conflict surfaces.
  */
 
 #include <gtest/gtest.h>
 
 #include "runtime/conflict_manager.hh"
 #include "runtime/tx_thread.hh"
+#include "sim/progress.hh"
 
 namespace flextm
 {
@@ -41,6 +46,20 @@ smallCfg()
     return c;
 }
 
+/** Hooks with every mandatory member wired to a benign default
+ *  (enemyIrrevocable is mandatory since PR 7); tests override the
+ *  members they exercise. */
+PolkaHooks
+baseHooks()
+{
+    PolkaHooks h;
+    h.enemyActive = [] { return false; };
+    h.abortEnemy = [] {};
+    h.enemyKarma = [] { return std::uint64_t{0}; };
+    h.enemyIrrevocable = [] { return false; };
+    return h;
+}
+
 /** One machine + stub thread; resolve() charges cycles (which
  *  yields), so every call runs on a scheduler fiber. */
 struct Rig
@@ -57,10 +76,19 @@ struct Rig
     resolveOn(std::uint64_t my_karma, const PolkaHooks &hooks,
               CmPolicy policy, bool *threw = nullptr)
     {
-        m.scheduler().spawn(0, [this, my_karma, &hooks, policy,
-                                threw] {
+        onFiber([&] {
+            cmPolicyFor(policy).resolve(t, my_karma, hooks);
+        }, threw);
+    }
+
+    /** Run @p body on a scheduler fiber, recording whether it threw
+     *  TxAbort. */
+    void
+    onFiber(const std::function<void()> &body, bool *threw = nullptr)
+    {
+        m.scheduler().spawn(0, [&body, threw] {
             try {
-                PolkaManager::resolve(t, my_karma, hooks, policy);
+                body();
             } catch (const TxAbort &) {
                 if (threw)
                     *threw = true;
@@ -81,7 +109,7 @@ TEST(AggressivePolicy, KillsTheEnemyImmediately)
     Rig r;
     bool enemy_alive = true;
     unsigned kills = 0;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     h.enemyActive = [&] { return enemy_alive; };
     h.abortEnemy = [&] {
         ++kills;
@@ -99,10 +127,9 @@ TEST(AggressivePolicy, NoKillWhenEnemyAlreadyGone)
 {
     Rig r;
     unsigned kills = 0;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     h.enemyActive = [&] { return false; };
     h.abortEnemy = [&] { ++kills; };
-    h.enemyKarma = [&] { return std::uint64_t{0}; };
 
     r.resolveOn(0, h, CmPolicy::Aggressive);
     EXPECT_EQ(kills, 0u);
@@ -114,10 +141,9 @@ TEST(TimidPolicy, SelfAbortsOnConflict)
     Rig r;
     unsigned kills = 0;
     bool threw = false;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     h.enemyActive = [&] { return true; };
     h.abortEnemy = [&] { ++kills; };
-    h.enemyKarma = [&] { return std::uint64_t{0}; };
 
     r.resolveOn(100, h, CmPolicy::Timid, &threw);
     EXPECT_TRUE(threw);
@@ -129,10 +155,8 @@ TEST(TimidPolicy, NoConflictNoAbort)
 {
     Rig r;
     bool threw = false;
-    PolkaHooks h;
-    h.enemyActive = [&] { return false; };
+    PolkaHooks h = baseHooks();
     h.abortEnemy = [&] { FAIL() << "abortEnemy on a gone enemy"; };
-    h.enemyKarma = [&] { return std::uint64_t{0}; };
 
     r.resolveOn(0, h, CmPolicy::Timid, &threw);
     EXPECT_FALSE(threw);
@@ -144,13 +168,12 @@ TEST(PolkaPolicy, NoKarmaDeficitMeansMinimalPatience)
     Rig r;
     bool enemy_alive = true;
     unsigned kills = 0;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     h.enemyActive = [&] { return enemy_alive; };
     h.abortEnemy = [&] {
         ++kills;
         enemy_alive = false;
     };
-    h.enemyKarma = [&] { return std::uint64_t{0}; };
 
     // Attacker outranks the enemy: patience clamps to one interval.
     r.resolveOn(100, h, CmPolicy::Polka);
@@ -163,7 +186,7 @@ TEST(PolkaPolicy, LargeDeficitWaitsFullPatience)
     Rig r;
     bool enemy_alive = true;
     unsigned kills = 0;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     h.enemyActive = [&] { return enemy_alive; };
     h.abortEnemy = [&] {
         ++kills;
@@ -186,7 +209,7 @@ TEST(PolkaPolicy, ConfiguredMaxPatienceIsHonored)
     Rig r(cfg);
     bool enemy_alive = true;
     unsigned kills = 0;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     h.enemyActive = [&] { return enemy_alive; };
     h.abortEnemy = [&] {
         ++kills;
@@ -204,7 +227,7 @@ TEST(PolkaPolicy, ReturnsWithoutKillWhenEnemyDrains)
     Rig r;
     unsigned active_checks = 0;
     unsigned kills = 0;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     // The enemy commits on its own after two back-off intervals.
     h.enemyActive = [&] { return ++active_checks <= 2; };
     h.abortEnemy = [&] { ++kills; };
@@ -221,11 +244,10 @@ TEST(IrrevocableOverride, EnemySurvivesAggressive)
     Rig r;
     unsigned irr_checks = 0;
     unsigned kills = 0;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     // Irrevocable enemy drains (commits) after three stall rounds.
     h.enemyActive = [&] { return irr_checks < 3; };
     h.abortEnemy = [&] { ++kills; };
-    h.enemyKarma = [&] { return std::uint64_t{0}; };
     h.enemyIrrevocable = [&] {
         ++irr_checks;
         return true;
@@ -242,10 +264,9 @@ TEST(IrrevocableOverride, EnemySurvivesPolka)
     Rig r;
     unsigned irr_checks = 0;
     unsigned kills = 0;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     h.enemyActive = [&] { return irr_checks < 5; };
     h.abortEnemy = [&] { ++kills; };
-    h.enemyKarma = [&] { return std::uint64_t{0}; };
     h.enemyIrrevocable = [&] {
         ++irr_checks;
         return true;
@@ -263,10 +284,9 @@ TEST(IrrevocableOverride, StalledAttackerNoticesOwnDeath)
     unsigned alert_calls = 0;
     unsigned kills = 0;
     bool threw = false;
-    PolkaHooks h;
+    PolkaHooks h = baseHooks();
     h.enemyActive = [&] { return true; };
     h.abortEnemy = [&] { ++kills; };
-    h.enemyKarma = [&] { return std::uint64_t{0}; };
     h.enemyIrrevocable = [&] { return true; };
     // The attacker is killed while stalling: the alert check fires
     // on its second round and the stall must unwind via TxAbort.
@@ -279,6 +299,314 @@ TEST(IrrevocableOverride, StalledAttackerNoticesOwnDeath)
     EXPECT_TRUE(threw);
     EXPECT_EQ(kills, 0u);
     EXPECT_EQ(alert_calls, 2u);
+}
+
+TEST(MandatoryHooks, MissingEnemyIrrevocableIsFatal)
+{
+    Rig r;
+    PolkaHooks h = baseHooks();
+    h.enemyIrrevocable = nullptr;
+    EXPECT_DEATH(r.resolveOn(0, h, CmPolicy::Polka),
+                 "enemyIrrevocable");
+}
+
+TEST(TimestampGreedy, OlderAttackerKillsYoungerEnemy)
+{
+    Rig r;
+    // Self (tid 0, core 0) began at cycle 10; the enemy (core 1) at
+    // cycle 500: self is older and wins immediately.
+    r.m.progress().txnBegan(0, 0, 10);
+    r.m.progress().txnBegan(1, 1, 500);
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+    h.enemyCore = [] { return CoreId{1}; };
+
+    r.resolveOn(0, h, CmPolicy::TimestampGreedy);
+    EXPECT_EQ(kills, 1u);
+    EXPECT_EQ(r.count("cm.enemy_aborts"), 1u);
+    EXPECT_EQ(r.count("cm.self_aborts"), 0u);
+}
+
+TEST(TimestampGreedy, YoungerAttackerSelfAborts)
+{
+    Rig r;
+    r.m.progress().txnBegan(0, 0, 500);
+    r.m.progress().txnBegan(1, 1, 10);
+    unsigned kills = 0;
+    bool threw = false;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return true; };
+    h.abortEnemy = [&] { ++kills; };
+    h.enemyCore = [] { return CoreId{1}; };
+
+    r.resolveOn(1'000'000, h, CmPolicy::TimestampGreedy, &threw);
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_EQ(r.count("cm.self_aborts"), 1u);
+}
+
+TEST(TimestampGreedy, CoreIdBreaksBeginCycleTies)
+{
+    Rig r;
+    // Same begin cycle: the lower core id is "older" and wins.
+    r.m.progress().txnBegan(0, 0, 100);
+    r.m.progress().txnBegan(1, 1, 100);
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+    h.enemyCore = [] { return CoreId{1}; };
+
+    r.resolveOn(0, h, CmPolicy::TimestampGreedy);
+    EXPECT_EQ(kills, 1u);
+}
+
+TEST(TimestampGreedy, StampSurvivesRetries)
+{
+    Rig r;
+    // A victimized transaction keeps its first-attempt stamp: after
+    // an abort + re-begin at a later cycle, its priority is
+    // unchanged (the Greedy starvation-freedom ingredient).
+    r.m.progress().txnBegan(0, 0, 10);
+    r.m.progress().txnAborted(0);
+    r.m.progress().txnBegan(0, 0, 900);  // retry, much later
+    r.m.progress().txnBegan(1, 1, 500);
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+    h.enemyCore = [] { return CoreId{1}; };
+
+    r.resolveOn(0, h, CmPolicy::TimestampGreedy);
+    EXPECT_EQ(kills, 1u);  // stamp 10 beats stamp 500 despite retry
+}
+
+TEST(TimestampGreedy, FallsBackToKarmaWithoutEnemyCore)
+{
+    Rig r;
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+    // No enemyCore hook: scripted conflicts degrade to karma order.
+    r.resolveOn(100, h, CmPolicy::TimestampGreedy);
+    EXPECT_EQ(kills, 1u);
+    EXPECT_EQ(r.count("cm.backoffs"), 1u);
+}
+
+TEST(RandomizedBackoff, NeverKillsAndYieldsAfterPatience)
+{
+    Rig r;
+    unsigned kills = 0;
+    bool threw = false;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return true; };
+    h.abortEnemy = [&] { ++kills; };
+    h.enemyKarma = [&] { return std::uint64_t{0}; };
+
+    r.resolveOn(1'000'000, h, CmPolicy::RandomizedBackoff, &threw);
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_EQ(r.count("cm.enemy_aborts"), 0u);
+    EXPECT_EQ(r.count("cm.self_aborts"), 1u);
+    EXPECT_EQ(r.count("cm.backoffs"),
+              ProgressConfig{}.cmMaxPatience);
+    EXPECT_TRUE(cmPolicyFor(CmPolicy::RandomizedBackoff)
+                    .requesterAbortsOnly());
+}
+
+TEST(RandomizedBackoff, ReturnsWhenEnemyDrainsWithinPatience)
+{
+    Rig r;
+    unsigned active_checks = 0;
+    bool threw = false;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return ++active_checks <= 2; };
+
+    r.resolveOn(0, h, CmPolicy::RandomizedBackoff, &threw);
+    EXPECT_FALSE(threw);
+    EXPECT_EQ(r.count("cm.self_aborts"), 0u);
+    EXPECT_EQ(r.count("cm.backoffs"), 2u);
+}
+
+TEST(RandomizedBackoff, LazyGateYieldsToAnyActiveEnemy)
+{
+    Rig r;
+    bool threw = false;
+    LazyCommitView v;
+    v.activeEnemies = 0b10;
+    v.enemyStamp = [](CoreId) { return std::uint64_t{0}; };
+    r.onFiber([&] {
+        cmPolicyFor(CmPolicy::RandomizedBackoff)
+            .lazyCommitGate(r.t, v);
+    }, &threw);
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(r.count("cm.self_aborts"), 1u);
+
+    // No active enemy: the commit proceeds.
+    bool threw2 = false;
+    LazyCommitView empty;
+    r.onFiber([&] {
+        cmPolicyFor(CmPolicy::RandomizedBackoff)
+            .lazyCommitGate(r.t, empty);
+    }, &threw2);
+    EXPECT_FALSE(threw2);
+}
+
+TEST(TimestampGreedy, LazyGateYieldsOnlyToOlderEnemies)
+{
+    Rig r;
+    r.m.progress().txnBegan(0, 0, 500);  // self
+    r.m.progress().txnBegan(1, 1, 900);  // younger enemy
+    ProgressManager &pm = r.m.progress();
+    LazyCommitView v;
+    v.activeEnemies = 0b10;
+    v.enemyStamp = [&pm](CoreId c) { return pm.arbitrationStamp(c); };
+
+    bool threw = false;
+    r.onFiber([&] {
+        cmPolicyFor(CmPolicy::TimestampGreedy).lazyCommitGate(r.t, v);
+    }, &threw);
+    EXPECT_FALSE(threw);  // all enemies younger: committer proceeds
+
+    // Now the enemy is older: the committer must yield.
+    pm.txnCommitted(1, 901);
+    pm.txnBegan(1, 1, 10);
+    bool threw2 = false;
+    r.onFiber([&] {
+        cmPolicyFor(CmPolicy::TimestampGreedy).lazyCommitGate(r.t, v);
+    }, &threw2);
+    EXPECT_TRUE(threw2);
+    EXPECT_EQ(r.count("cm.self_aborts"), 1u);
+}
+
+TEST(SerialIrrevocableFirst, FirstConflictResolvesLikePolka)
+{
+    Rig r;
+    bool enemy_alive = true;
+    unsigned kills = 0;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return enemy_alive; };
+    h.abortEnemy = [&] {
+        ++kills;
+        enemy_alive = false;
+    };
+
+    r.resolveOn(100, h, CmPolicy::SerialIrrevocableFirst);
+    EXPECT_EQ(kills, 1u);
+    EXPECT_FALSE(r.m.progress().shouldEscalate(0));
+}
+
+TEST(SerialIrrevocableFirst, RepeatConflictEscalatesToTheToken)
+{
+    Rig r;
+    // One prior abort on this thread: the next conflict must claim
+    // the serial-irrevocability token and retry unkillable.
+    r.m.progress().txnBegan(0, 0, 10);
+    r.m.progress().txnAborted(0);
+    r.m.progress().txnBegan(0, 0, 20);
+    unsigned kills = 0;
+    bool threw = false;
+    PolkaHooks h = baseHooks();
+    h.enemyActive = [&] { return true; };
+    h.abortEnemy = [&] { ++kills; };
+
+    r.resolveOn(0, h, CmPolicy::SerialIrrevocableFirst, &threw);
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(kills, 0u);
+    EXPECT_TRUE(r.m.progress().shouldEscalate(0));
+    EXPECT_EQ(r.count("cm.self_aborts"), 1u);
+}
+
+TEST(WaitSurfaces, BaseLockWaitRoundYieldsAfterPatience)
+{
+    Rig r;
+    PolkaHooks h = baseHooks();
+    bool threw = false;
+    r.onFiber([&] {
+        for (unsigned round = 1; round <= 10; ++round)
+            cmPolicyFor(CmPolicy::Polka).lockWaitRound(r.t, h, round);
+    }, &threw);
+    EXPECT_TRUE(threw);  // round 5 throws (bounded patience)
+}
+
+TEST(WaitSurfaces, SerialLockWaitRoundEscalatesBeforeYielding)
+{
+    Rig r;
+    PolkaHooks h = baseHooks();
+    bool threw = false;
+    r.onFiber([&] {
+        for (unsigned round = 1; round <= 10; ++round)
+            cmPolicyFor(CmPolicy::SerialIrrevocableFirst)
+                .lockWaitRound(r.t, h, round);
+    }, &threw);
+    EXPECT_TRUE(threw);
+    EXPECT_TRUE(r.m.progress().shouldEscalate(0));
+}
+
+TEST(WaitSurfaces, MutexWaitRoundNeverThrows)
+{
+    Rig r;
+    bool threw = false;
+    r.onFiber([&] {
+        for (unsigned round = 0; round < 12; ++round)
+            cmPolicyFor(CmPolicy::RandomizedBackoff)
+                .mutexWaitRound(r.t, round);
+    }, &threw);
+    EXPECT_FALSE(threw);
+}
+
+TEST(WaitSurfaces, HtmConflictAlwaysThrows)
+{
+    Rig r;
+    bool threw = false;
+    r.onFiber([&] {
+        cmPolicyFor(CmPolicy::Polka).htmConflict(r.t);
+    }, &threw);
+    EXPECT_TRUE(threw);
+
+    // SerialIrrevocableFirst escalates the retry after a repeat
+    // conflict (one prior abort).
+    r.m.progress().txnBegan(0, 0, 10);
+    r.m.progress().txnAborted(0);
+    bool threw2 = false;
+    r.onFiber([&] {
+        cmPolicyFor(CmPolicy::SerialIrrevocableFirst)
+            .htmConflict(r.t);
+    }, &threw2);
+    EXPECT_TRUE(threw2);
+    EXPECT_TRUE(r.m.progress().shouldEscalate(0));
+}
+
+TEST(PolicyRegistry, NamesAndEnvSelection)
+{
+    EXPECT_STREQ(cmPolicyName(CmPolicy::TimestampGreedy),
+                 "TimestampGreedy");
+    EXPECT_STREQ(cmPolicyFor(CmPolicy::RandomizedBackoff).name(),
+                 "RandomizedBackoff");
+    EXPECT_EQ(cmPolicyFor(CmPolicy::SerialIrrevocableFirst).kind(),
+              CmPolicy::SerialIrrevocableFirst);
+    // Same kind always resolves to the same singleton.
+    EXPECT_EQ(&cmPolicyFor(CmPolicy::Polka),
+              &cmPolicyFor(CmPolicy::Polka));
 }
 
 } // anonymous namespace
