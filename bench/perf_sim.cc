@@ -37,6 +37,16 @@
  * --quick runs a 6-cell subset (one workload, one seed per runtime)
  * with no JSON output - the perf-smoke ctest entry, so the harness
  * itself cannot rot.
+ *
+ * --check FILE is the regression gate (schema 5): re-measure the
+ * frozen matrix and each side cell serially, verify the simulated
+ * work is bit-identical to FILE's current sections, and fail when
+ * any section's wall clock exceeds the recorded one by more than
+ * --max-regress percent (default 20) plus a slack allowance.  The
+ * slack defaults to 0.05s + one recorded wall, because the ctest
+ * entry runs the RelWithDebInfo build against numbers recorded from
+ * the Release+LTO bench build; pass an explicit --slack 0.05 for the
+ * strict like-for-like 20% gate when checking from build-bench.
  */
 
 #include <chrono>
@@ -271,6 +281,27 @@ matrixMatches(const char *what, const Totals &baseline,
     return false;
 }
 
+/** One section of the --check gate: simulated-work identity plus the
+ *  wall-clock threshold against the recorded section. */
+bool
+checkSection(const char *what, const Totals &ref, const Totals &cur,
+             double maxRegressPct, double slackSeconds)
+{
+    if (!matrixMatches(what, ref, cur))
+        return false;
+    const double slack =
+        slackSeconds >= 0 ? slackSeconds : 0.05 + ref.wallSeconds;
+    const double limit =
+        ref.wallSeconds * (1.0 + maxRegressPct / 100.0) + slack;
+    const bool ok = cur.wallSeconds <= limit;
+    std::fprintf(stderr,
+                 "perf_sim: check %-4s %s: %.3fs vs recorded %.3fs "
+                 "(limit %.3fs = +%.0f%% + %.2fs slack)\n",
+                 what, ok ? "ok" : "REGRESSED", cur.wallSeconds,
+                 ref.wallSeconds, limit, maxRegressPct, slack);
+    return ok;
+}
+
 void
 writeSection(std::FILE *f, const char *name, const Totals &t,
              bool trailingComma)
@@ -300,13 +331,22 @@ int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_sim.json";
+    std::string check_path;
     bool record_baseline = false;
     bool quick = false;
+    double max_regress_pct = 20.0;
+    double slack_seconds = -1.0;  // negative = auto (cross-build)
     unsigned jobs = defaultJobs();
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (a == "--check" && i + 1 < argc) {
+            check_path = argv[++i];
+        } else if (a == "--max-regress" && i + 1 < argc) {
+            max_regress_pct = std::strtod(argv[++i], nullptr);
+        } else if (a == "--slack" && i + 1 < argc) {
+            slack_seconds = std::strtod(argv[++i], nullptr);
         } else if (a == "--record-baseline") {
             record_baseline = true;
         } else if (a == "--quick") {
@@ -318,11 +358,14 @@ main(int argc, char **argv)
                 jobs = 1;
         } else {
             std::fprintf(stderr,
-                         "usage: perf_sim [--out FILE] "
+                         "usage: perf_sim [--out FILE] [--check FILE "
+                         "[--max-regress PCT] [--slack SECONDS]] "
                          "[--record-baseline] [--quick] [--jobs N]\n");
             return 2;
         }
     }
+    if (!check_path.empty())
+        jobs = 1;  // the gate wants the stable serial wall clock
 
     const std::vector<Cell> cells = buildMatrix(quick);
     std::fprintf(stderr,
@@ -390,6 +433,45 @@ main(int argc, char **argv)
 
     if (quick) {
         std::fprintf(stderr, "perf_sim: quick mode, no JSON output\n");
+        return 0;
+    }
+
+    if (!check_path.empty()) {
+        std::string ref_text;
+        if (!readFile(check_path, ref_text)) {
+            std::fprintf(stderr, "perf_sim: cannot read %s\n",
+                         check_path.c_str());
+            return 1;
+        }
+        Totals refFlat, refDram, refHytm, refCm;
+        if (!loadTotals(ref_text, "current", refFlat) ||
+            !loadTotals(ref_text, "dram_current", refDram) ||
+            !loadTotals(ref_text, "hytm_current", refHytm) ||
+            !loadTotals(ref_text, "cm_current", refCm)) {
+            std::fprintf(stderr,
+                         "perf_sim: %s lacks the current sections "
+                         "needed for --check\n",
+                         check_path.c_str());
+            return 1;
+        }
+        bool ok = true;
+        ok &= checkSection("flat", refFlat, serial, max_regress_pct,
+                           slack_seconds);
+        ok &= checkSection("dram", refDram, dram, max_regress_pct,
+                           slack_seconds);
+        ok &= checkSection("hytm", refHytm, hytm, max_regress_pct,
+                           slack_seconds);
+        ok &= checkSection("cm", refCm, cm, max_regress_pct,
+                           slack_seconds);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "perf_sim: wall-clock regression gate FAILED "
+                         "vs %s\n",
+                         check_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "perf_sim: regression gate ok vs %s\n",
+                     check_path.c_str());
         return 0;
     }
 
@@ -473,7 +555,11 @@ main(int argc, char **argv)
     std::fprintf(f, "{\n");
     std::fprintf(f,
                  "  \"bench\": \"perf_sim\",\n"
-                 "  \"schema\": 4,\n"
+                 "  \"schema\": 5,\n"
+                 "  \"regress_gate\": {\n"
+                 "    \"max_regress_pct\": %.0f,\n"
+                 "    \"command\": \"perf_sim --check BENCH_sim.json\"\n"
+                 "  },\n"
                  "  \"matrix\": {\n"
                  "    \"runtimes\": 6,\n"
                  "    \"workloads\": 3,\n"
@@ -482,7 +568,8 @@ main(int argc, char **argv)
                  "    \"threads\": %u,\n"
                  "    \"total_ops\": %u\n"
                  "  },\n",
-                 kSeedsPerCell, cells.size(), kThreads, kTotalOps);
+                 max_regress_pct, kSeedsPerCell, cells.size(), kThreads,
+                 kTotalOps);
     writeSection(f, "baseline", baseline, true);
     writeSection(f, "current", serial, true);
     writeSection(f, "current_parallel", parallel, true);

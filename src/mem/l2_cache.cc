@@ -12,7 +12,15 @@ L2Cache::L2Cache(std::size_t bytes, unsigned ways, unsigned banks)
     numSets_ = static_cast<unsigned>(bytes / (lineBytes * ways));
     sim_assert(numSets_ >= 1 && (numSets_ & (numSets_ - 1)) == 0,
                "L2 set count must be a power of two");
-    lines_.resize(static_cast<std::size_t>(numSets_) * ways_);
+    sets_.resize(numSets_);
+}
+
+L2Line *
+L2Cache::ensureSet(unsigned set)
+{
+    if (!sets_[set])
+        sets_[set] = std::make_unique<L2Line[]>(ways_);
+    return sets_[set].get();
 }
 
 unsigned
@@ -40,9 +48,11 @@ L2Line *
 L2Cache::probe(Addr addr)
 {
     const Addr base = lineAlign(addr);
-    const unsigned set = setIndex(addr);
+    L2Line *frames = setFrames(setIndex(addr));
+    if (!frames)
+        return nullptr;
     for (unsigned w = 0; w < ways_; ++w) {
-        L2Line &l = lines_[static_cast<std::size_t>(set) * ways_ + w];
+        L2Line &l = frames[w];
         if (l.valid && l.base == base)
             return &l;
     }
@@ -55,11 +65,11 @@ L2Cache::allocate(Addr addr, Cycles now,
 {
     sim_assert(probe(addr) == nullptr, "allocate over existing line");
     const Addr base = lineAlign(addr);
-    const unsigned set = setIndex(addr);
+    L2Line *frames = ensureSet(setIndex(addr));
 
     L2Line *frame = nullptr;
     for (unsigned w = 0; w < ways_; ++w) {
-        L2Line &l = lines_[static_cast<std::size_t>(set) * ways_ + w];
+        L2Line &l = frames[w];
         if (!l.valid) {
             frame = &l;
             break;
@@ -70,8 +80,7 @@ L2Cache::allocate(Addr addr, Cycles now,
         // Prefer victims with no cached L1 copies.
         L2Line *best = nullptr;
         for (unsigned w = 0; w < ways_; ++w) {
-            L2Line &l =
-                lines_[static_cast<std::size_t>(set) * ways_ + w];
+            L2Line &l = frames[w];
             const bool l_free = !l.dir.anyCached();
             const bool b_free = best && !best->dir.anyCached();
             if (!best || (l_free && !b_free) ||

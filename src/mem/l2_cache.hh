@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mem/protocol.hh"
@@ -91,9 +92,16 @@ class L2Cache
     unsigned numSets_;
     unsigned ways_;
     unsigned banks_;
-    std::vector<L2Line> lines_;
+    /** Set frames, allocated on first touch: an 8 MB L2 is ~14 MB of
+     *  line metadata, and zero-initializing all of it up front
+     *  dominates Machine construction in sweeps whose workloads touch
+     *  a few hundred lines.  Sparse allocation is invisible to the
+     *  simulation (untouched sets have no valid lines either way). */
+    std::vector<std::unique_ptr<L2Line[]>> sets_;
 
     unsigned setIndex(Addr addr) const;
+    L2Line *setFrames(unsigned set) { return sets_[set].get(); }
+    L2Line *ensureSet(unsigned set);
 };
 
 } // namespace flextm

@@ -11,6 +11,7 @@ Machine::Machine(const MachineConfig &cfg)
 {
     sched_.setWatchdog(
         [this](Cycles now) { progress_.watchdogPoll(now); });
+    sched_.setStackBytes(cfg_.fiberStackKiB * 1024);
     contexts_.reserve(cfg_.cores);
     for (unsigned c = 0; c < cfg_.cores; ++c) {
         contexts_.emplace_back(static_cast<CoreId>(c),

@@ -54,7 +54,7 @@ TxThread::TxThread(Machine &m, ThreadId tid, CoreId core)
       threadAborts_(m.stats().counter(
           "thread." + std::to_string(tid) + ".aborts")),
       commitLatency_(m.stats().histogram("tx.commit_latency")),
-      rng_(m.deriveSeed(0x1000 + tid))
+      auditor_(m.memsys().auditor()), rng_(m.deriveSeed(0x1000 + tid))
 {
 }
 
@@ -379,8 +379,8 @@ TxThread::txn(const std::function<void()> &body)
             pm.txnBegan(tid_, core_, m_.scheduler().now());
             // Progressiveness (I9) bookkeeping opens with the
             // attempt: conflicts recorded from here justify kills.
-            if (StateAuditor *a = m_.memsys().auditor())
-                a->noteCmTxnStart(core_);
+            if (auditor_)
+                auditor_->noteCmTxnStart(core_);
             beginTx();
             inTx_ = true;
             body();
@@ -408,9 +408,9 @@ TxThread::txn(const std::function<void()> &body)
             ++ctr_.txCommits;
             ++threadCommits_;
             commitLatency_.add(m_.scheduler().now() - txnStart);
-            if (StateAuditor *a = m_.memsys().auditor())
-                a->checkpoint(AuditScope::TxnBoundary,
-                              m_.scheduler().now(), "tx_commit");
+            if (auditor_)
+                auditor_->checkpoint(AuditScope::TxnBoundary,
+                                     m_.scheduler().now(), "tx_commit");
             return;
         }
         if (oracle)
@@ -423,13 +423,16 @@ TxThread::txn(const std::function<void()> &body)
         ++aborts_;
         ++ctr_.txAborts;
         ++threadAborts_;
-        ++m_.stats().counter(std::string("aborts.byCause.") +
-                             abortCauseName(cause));
+        Counter *&byCause = abortsByCause_[static_cast<unsigned>(cause)];
+        if (!byCause)
+            byCause = &m_.stats().counter(
+                std::string("aborts.byCause.") + abortCauseName(cause));
+        ++*byCause;
         m_.cmPolicy().onAborted(*this);
         abortCleanup();
-        if (StateAuditor *a = m_.memsys().auditor())
-            a->checkpoint(AuditScope::TxnBoundary,
-                          m_.scheduler().now(), "tx_abort");
+        if (auditor_)
+            auditor_->checkpoint(AuditScope::TxnBoundary,
+                                 m_.scheduler().now(), "tx_abort");
         ++attempt_;
         if (onAbortYield_)
             onAbortYield_();

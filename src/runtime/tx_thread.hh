@@ -46,6 +46,9 @@ enum class AbortCause : unsigned
     IrrevocableDefer, //!< commit deferred to the token holder
 };
 
+constexpr unsigned kNumAbortCauses =
+    static_cast<unsigned>(AbortCause::IrrevocableDefer) + 1;
+
 const char *abortCauseName(AbortCause c);
 
 /** Thrown by runtime internals to restart the current transaction. */
@@ -308,6 +311,13 @@ class TxThread
     Counter &threadAborts_;
     /** End-to-end commit latency (first attempt begin -> commit). */
     Histogram &commitLatency_;
+    /** aborts.byCause.* handles, interned on a cause's first abort so
+     *  the per-abort path never builds a lookup string (and dumps
+     *  only name causes that actually fired). */
+    Counter *abortsByCause_[kNumAbortCauses] = {};
+    /** Cached auditor (null when AuditLevel::Off): the per-attempt
+     *  enablement check is one pointer test, not a getter chain. */
+    StateAuditor *auditor_;
 
     Rng rng_;
     bool inTx_ = false;

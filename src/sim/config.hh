@@ -233,6 +233,16 @@ struct MachineConfig
     /** Simulated memory image size. */
     std::size_t memoryBytes = 256u << 20;
 
+    /**
+     * Fiber stack per simulated thread, in KiB.  The default is
+     * generous (deep runtime + oracle frames plus sanitizer
+     * redzones); sweeps spawning 64-core machines across many
+     * workers can shrink it.  Values below 64 KiB are rejected
+     * (Scheduler::kMinStackBytes - enough headroom that a guard
+     * page under the stack would catch overflow before corruption).
+     */
+    std::size_t fiberStackKiB = 512;
+
     /** Fault-injection plan (all off by default). */
     FaultConfig fault;
 

@@ -72,6 +72,7 @@ FaultPlan::configure(const FaultConfig &cfg, std::uint64_t fallback_seed)
     enabled_ = cfg_.anyEnabled();
     rng_ = Rng(cfg_.seed * 0x9e3779b97f4a7c15ULL + 0xfa017ULL);
     fired_.fill(0);
+    pickCalls_ = 0;
 }
 
 unsigned
@@ -112,6 +113,7 @@ std::size_t
 FaultPlan::pickIndex(std::size_t n)
 {
     sim_assert(n > 0);
+    ++pickCalls_;
     return static_cast<std::size_t>(rng_.nextInt(n));
 }
 

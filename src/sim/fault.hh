@@ -93,6 +93,10 @@ class FaultPlan
     /** Uniform pick in [0, n) for scheduler tie-breaking. */
     std::size_t pickIndex(std::size_t n);
 
+    /** How many pickIndex draws have been made (the scheduler teeth
+     *  tests assert exactly one draw per contended dispatch). */
+    std::uint64_t pickCalls() const { return pickCalls_; }
+
     /** How often fire() returned true for @p k. */
     std::uint64_t fired(FaultKind k) const;
     std::uint64_t totalFired() const;
@@ -116,6 +120,7 @@ class FaultPlan
     std::array<std::uint64_t,
                static_cast<std::size_t>(FaultKind::Count)>
         fired_{};
+    std::uint64_t pickCalls_ = 0;
 
     unsigned pctFor(FaultKind k) const;
 };

@@ -68,11 +68,19 @@ parallelFor(std::size_t n, unsigned jobs,
     }
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(jobs, n));
-    std::atomic<std::size_t> next{0};
+    // The work counter gets a cache line of its own: it lives on the
+    // driver's stack next to the thread pool and result vectors, and
+    // every fetch_add would otherwise ping-pong those neighbours'
+    // lines between workers.
+    struct alignas(64) PaddedCounter
+    {
+        std::atomic<std::size_t> next{0};
+        char pad[64 - sizeof(std::atomic<std::size_t>)];
+    } counter;
     auto body = [&] {
         for (;;) {
             const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
+                counter.next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
             fn(i);

@@ -1,5 +1,7 @@
 #include "sim/thread.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 
 #include "sim/fault.hh"
@@ -75,16 +77,25 @@ thread_local Scheduler *activeSched = nullptr;
 } // anonymous namespace
 
 SimThread::SimThread(Scheduler &sched, ThreadId id, CoreId core,
-                     std::function<void()> body)
+                     std::function<void()> body, std::size_t stackBytes)
     : sched_(sched), id_(id), core_(core), body_(std::move(body)),
-      stack_(stackBytes)
+      stack_(new std::uint8_t[stackBytes]), stackBytes_(stackBytes)
 {
     if (getcontext(&ctx_) != 0)
         panic("getcontext failed");
-    ctx_.uc_stack.ss_sp = stack_.data();
-    ctx_.uc_stack.ss_size = stack_.size();
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stackBytes_;
     ctx_.uc_link = nullptr;
     makecontext(&ctx_, &SimThread::trampoline, 0);
+}
+
+void
+SimThread::syncClock(Cycles t)
+{
+    if (clock_ >= t)
+        return;
+    clock_ = t;
+    sched_.noteClockRaised(*this);
 }
 
 void
@@ -108,12 +119,40 @@ SimThread::trampoline()
     sched->threadExit();
 }
 
+Scheduler::Scheduler()
+{
+    const char *env = std::getenv("FLEXTM_SCHED");
+    legacy_ = env != nullptr && std::strcmp(env, "legacy") == 0;
+}
+
+void
+Scheduler::setStackBytes(std::size_t bytes)
+{
+    sim_assert(bytes >= kMinStackBytes,
+               "fiber stack of %zu bytes is below the %zu-byte "
+               "minimum",
+               bytes, kMinStackBytes);
+    // Whole pages, so a protected guard page could sit flush below
+    // the stack base without stealing usable space.
+    constexpr std::size_t page = 4096;
+    stackBytes_ = (bytes + page - 1) & ~(page - 1);
+}
+
+void
+Scheduler::setFaultPlan(FaultPlan *p)
+{
+    fault_ = p;
+    window_ = p ? p->config().schedWindowCycles : 0;
+}
+
 ThreadId
 Scheduler::spawn(CoreId core, std::function<void()> body)
 {
     const auto tid = static_cast<ThreadId>(threads_.size());
-    threads_.push_back(
-        std::make_unique<SimThread>(*this, tid, core, std::move(body)));
+    threads_.push_back(std::make_unique<SimThread>(
+        *this, tid, core, std::move(body), stackBytes_));
+    if (!legacy_)
+        heapPush(threads_.back().get());
     return tid;
 }
 
@@ -144,14 +183,118 @@ Scheduler::now() const
     return current_->clock();
 }
 
-Cycles
-Scheduler::maxClock() const
+void
+Scheduler::noteClockRaised(SimThread &t)
 {
-    Cycles m = 0;
-    for (const auto &t : threads_)
-        if (t->clock() > m)
-            m = t->clock();
-    return m;
+    if (t.clock_ > maxSeen_)
+        maxSeen_ = t.clock_;
+    // Clocks only move forward, so a parked thread can only need to
+    // move *down* the min-heap.
+    if (t.heapSlot_ != SimThread::kNoHeapSlot)
+        heapSiftDown(t.heapSlot_);
+}
+
+void
+Scheduler::heapSiftUp(std::size_t i)
+{
+    SimThread *t = ready_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!keyLess(t, ready_[parent]))
+            break;
+        ready_[i] = ready_[parent];
+        ready_[i]->heapSlot_ = i;
+        i = parent;
+    }
+    ready_[i] = t;
+    t->heapSlot_ = i;
+}
+
+void
+Scheduler::heapSiftDown(std::size_t i)
+{
+    const std::size_t n = ready_.size();
+    SimThread *t = ready_[i];
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && keyLess(ready_[child + 1], ready_[child]))
+            ++child;
+        if (!keyLess(ready_[child], t))
+            break;
+        ready_[i] = ready_[child];
+        ready_[i]->heapSlot_ = i;
+        i = child;
+    }
+    ready_[i] = t;
+    t->heapSlot_ = i;
+}
+
+void
+Scheduler::heapPush(SimThread *t)
+{
+    sim_assert(t->heapSlot_ == SimThread::kNoHeapSlot);
+    ready_.push_back(t);
+    heapSiftUp(ready_.size() - 1);
+}
+
+void
+Scheduler::heapRemove(SimThread *t)
+{
+    const std::size_t i = t->heapSlot_;
+    sim_assert(i != SimThread::kNoHeapSlot && i < ready_.size());
+    t->heapSlot_ = SimThread::kNoHeapSlot;
+    const std::size_t last = ready_.size() - 1;
+    if (i != last) {
+        SimThread *moved = ready_[last];
+        ready_.pop_back();
+        ready_[i] = moved;
+        moved->heapSlot_ = i;
+        // The displaced tail element may belong above or below i
+        // (whichever sift applies, the other is a no-op).
+        heapSiftDown(i);
+        heapSiftUp(moved->heapSlot_);
+    } else {
+        ready_.pop_back();
+    }
+}
+
+SimThread *
+Scheduler::pickHeap(SimThread *self)
+{
+    SimThread *minT = self;
+    if (!ready_.empty() &&
+        (minT == nullptr || keyLess(ready_.front(), minT))) {
+        minT = ready_.front();
+    }
+    if (!minT || window_ == 0)
+        return minT;
+
+    // Schedule perturbation: any runnable thread close enough to the
+    // minimum clock may run next.  Candidates are enumerated in tid
+    // order (the legacy scan order) and the RNG is drawn exactly once
+    // per dispatch, only when more than one thread is in the window.
+    const Cycles limit = minT->clock_ + window_;
+    windowBuf_.clear();
+    if (self && self->clock_ <= limit)
+        windowBuf_.push_back(self);
+    for (SimThread *t : ready_)
+        if (t->clock_ <= limit)
+            windowBuf_.push_back(t);
+    if (windowBuf_.size() <= 1)
+        return minT;
+    // Insertion sort by tid: the window admits a handful of threads.
+    for (std::size_t i = 1; i < windowBuf_.size(); ++i) {
+        SimThread *v = windowBuf_[i];
+        std::size_t j = i;
+        while (j > 0 && windowBuf_[j - 1]->id_ > v->id_) {
+            windowBuf_[j] = windowBuf_[j - 1];
+            --j;
+        }
+        windowBuf_[j] = v;
+    }
+    return windowBuf_[fault_->pickIndex(windowBuf_.size())];
 }
 
 SimThread *
@@ -188,8 +331,8 @@ Scheduler::switchTo(SimThread &t)
     current_ = &t;
     Scheduler *prev = activeSched;
     activeSched = this;
-    fiberSwitchStart(&asanMainFakeStack_, t.stack_.data(),
-                     t.stack_.size());
+    fiberSwitchStart(&asanMainFakeStack_, t.stack_.get(),
+                     t.stackBytes_);
     if (swapcontext(&mainCtx_, &t.ctx_) != 0)
         panic("swapcontext into thread %u failed", t.id());
     fiberSwitchFinish(asanMainFakeStack_, nullptr, nullptr);
@@ -200,50 +343,124 @@ Scheduler::switchTo(SimThread &t)
 void
 Scheduler::run()
 {
-    run([] { return false; });
+    runLoop(nullptr);
 }
 
 void
 Scheduler::run(const std::function<bool()> &stop)
 {
+    runLoop(&stop);
+}
+
+void
+Scheduler::runLoop(const std::function<bool()> *stop)
+{
     sim_assert(current_ == nullptr, "run() is not reentrant");
-    stop_ = &stop;
-    while (!stop()) {
-        SimThread *next = pending_ ? pending_ : pickNext();
-        pending_ = nullptr;
-        if (!next)
-            break;
-        if (watchdog_)
-            watchdog_(next->clock());
-        switchTo(*next);
+    stop_ = stop;
+    sliceLeft_ = kWatchdogSlice;
+    if (legacy_) {
+        while (!(stop && (*stop)())) {
+            SimThread *next = pending_ ? pending_ : pickNext();
+            pending_ = nullptr;
+            if (!next)
+                break;
+            if (watchdog_)
+                watchdog_(next->clock());
+            switchTo(*next);
+        }
+    } else {
+        while (!(stop && (*stop)())) {
+            SimThread *next = pending_;
+            pending_ = nullptr;
+            if (!next) {
+                next = pickHeap(nullptr);
+                if (!next)
+                    break;
+                heapRemove(next);
+            }
+            if (watchdog_)
+                watchdog_(next->clock());
+            switchTo(*next);
+        }
+        // A stop-predicate exit can strand the already-picked thread:
+        // park it back in the heap so the next run() still sees it.
+        if (pending_)
+            heapPush(pending_);
     }
     stop_ = nullptr;
     pending_ = nullptr;
 }
 
 void
+Scheduler::pollWatchdogSliced(Cycles now)
+{
+    if (watchdog_ && --sliceLeft_ == 0) {
+        sliceLeft_ = kWatchdogSlice;
+        watchdog_(now);
+    }
+}
+
+void
 Scheduler::yield()
 {
     SimThread &self = current();
-    // Same-thread fast path: when this thread would be dispatched
-    // again immediately, skip the two context switches (each a
-    // sigprocmask syscall inside swapcontext) and keep running.  The
-    // stop / pickNext / watchdog sequence below is exactly one
-    // iteration of run()'s loop, so the dispatch order - including
-    // the schedule-perturbation RNG draws in pickNext() - is
-    // bit-identical to the switching path.
-    if (self.state_ == SimThread::State::Runnable && stop_ &&
-        !(*stop_)()) {
-        SimThread *next = pickNext();
-        if (next == &self) {
-            if (watchdog_)
-                watchdog_(self.clock());
-            return;
+    if (self.clock_ > maxSeen_)
+        maxSeen_ = self.clock_;
+    if (legacy_) {
+        // Same-thread fast path (legacy core): when this thread would
+        // be dispatched again immediately, skip the two context
+        // switches (each a sigprocmask syscall inside swapcontext)
+        // and keep running.  The stop / pickNext / watchdog sequence
+        // below is exactly one iteration of run()'s loop, so the
+        // dispatch order - including the schedule-perturbation RNG
+        // draws in pickNext() - is bit-identical to the switching
+        // path.
+        if (self.state_ == SimThread::State::Runnable &&
+            (stop_ == nullptr || !(*stop_)())) {
+            SimThread *next = pickNext();
+            if (next == &self) {
+                if (watchdog_)
+                    watchdog_(self.clock());
+                return;
+            }
+            // Someone else's turn: hand the pick to run() so it is
+            // not repeated (the stop predicate is re-evaluated there,
+            // which is fine - predicates are pure cycle checks).
+            pending_ = next;
         }
-        // Someone else's turn: hand the pick to run() so it is not
-        // repeated (the stop predicate is re-evaluated there, which
-        // is fine - predicates are pure cycle checks).
-        pending_ = next;
+    } else if (self.state_ == SimThread::State::Runnable &&
+               (stop_ == nullptr || !(*stop_)())) {
+        if (window_ == 0) {
+            // Run-slice fast path: keep executing while this thread
+            // is the sole runnable or still the unique (clock, tid)
+            // minimum; watchdog polls amortize to slice boundaries.
+            if (ready_.empty() || keyLess(&self, ready_.front())) {
+                pollWatchdogSliced(self.clock_);
+                return;
+            }
+            // The heap root overtakes: dispatch it and park self by
+            // replacing the root in place (one sift, no push+pop).
+            SimThread *next = ready_.front();
+            next->heapSlot_ = SimThread::kNoHeapSlot;
+            ready_[0] = &self;
+            self.heapSlot_ = 0;
+            heapSiftDown(0);
+            pending_ = next;
+        } else {
+            SimThread *next = pickHeap(&self);
+            if (next == &self) {
+                pollWatchdogSliced(self.clock_);
+                return;
+            }
+            heapRemove(next);
+            heapPush(&self);
+            pending_ = next;
+        }
+    } else if (self.state_ == SimThread::State::Runnable) {
+        // Stop fired while this thread is still runnable: park it in
+        // the heap before unwinding to run(), which is about to
+        // return with the thread off-fiber.
+        heapPush(&self);
     }
     fiberSwitchStart(&self.asanFakeStack_, asanMainStackBottom_,
                      asanMainStackSize_);
@@ -274,6 +491,8 @@ Scheduler::wake(ThreadId tid)
     // the waker's clock so its next action cannot happen in the past.
     if (current_ != nullptr)
         t.syncClock(current_->clock());
+    if (!legacy_)
+        heapPush(&t);
 }
 
 void
@@ -281,6 +500,8 @@ Scheduler::threadExit()
 {
     SimThread &self = current();
     self.state_ = SimThread::State::Finished;
+    if (self.clock_ > maxSeen_)
+        maxSeen_ = self.clock_;
     // nullptr save: this fiber never runs again, so ASan frees its
     // fake frames instead of keeping them poisoned.
     fiberSwitchStart(nullptr, asanMainStackBottom_,

@@ -8,6 +8,16 @@
  * resumes the runnable thread with the smallest clock, and threads
  * yield after every memory operation, which serializes all protocol
  * actions in global simulated-time order.
+ *
+ * Dispatch is event-driven: runnable threads (minus the one currently
+ * on a fiber) live in an indexed binary min-heap keyed by
+ * (clock, thread id), so picking the next thread is O(log runnable)
+ * instead of a scan over every thread the machine ever spawned, and a
+ * run-slice fast path lets the dispatched thread keep executing
+ * through consecutive yields while it remains the unique minimum (or
+ * sole runnable) thread.  FLEXTM_SCHED=legacy selects the original
+ * scan-based core, kept verbatim as the equivalence oracle for the
+ * scheduler teeth tests.
  */
 
 #ifndef FLEXTM_SIM_THREAD_HH
@@ -15,7 +25,9 @@
 
 #include <ucontext.h>
 
+#include <cstddef>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -39,7 +51,7 @@ class SimThread
     };
 
     SimThread(Scheduler &sched, ThreadId id, CoreId core,
-              std::function<void()> body);
+              std::function<void()> body, std::size_t stackBytes);
 
     ThreadId id() const { return id_; }
     CoreId core() const { return core_; }
@@ -48,13 +60,18 @@ class SimThread
     State state() const { return state_; }
     Cycles clock() const { return clock_; }
     void advance(Cycles n) { clock_ += n; }
-    /** Move the clock forward to at least @p t (used when resuming). */
-    void syncClock(Cycles t) { if (clock_ < t) clock_ = t; }
+    /** Move the clock forward to at least @p t (used when resuming).
+     *  Re-sifts the ready heap when the thread is parked in it. */
+    void syncClock(Cycles t);
 
   private:
     friend class Scheduler;
 
     static void trampoline();
+
+    /** Not currently parked in the scheduler's ready heap. */
+    static constexpr std::size_t kNoHeapSlot =
+        std::numeric_limits<std::size_t>::max();
 
     Scheduler &sched_;
     ThreadId id_;
@@ -63,12 +80,18 @@ class SimThread
     Cycles clock_ = 0;
     std::function<void()> body_;
     ucontext_t ctx_;
-    std::vector<std::uint8_t> stack_;
+    /** Fiber stack, deliberately *not* zero-initialized: a 512 KiB
+     *  memset per spawned thread dominates machine construction in
+     *  big sweeps and the ucontext machinery never reads below the
+     *  frames it writes. */
+    std::unique_ptr<std::uint8_t[]> stack_;
+    std::size_t stackBytes_;
+    /** Index of this thread in Scheduler::ready_ (kNoHeapSlot when
+     *  running, blocked, or finished). */
+    std::size_t heapSlot_ = kNoHeapSlot;
     /** ASan fake-stack handle while this fiber is switched out
      *  (sanitizer fiber annotations; unused in plain builds). */
     void *asanFakeStack_ = nullptr;
-
-    static constexpr std::size_t stackBytes = 512 * 1024;
 };
 
 /**
@@ -79,9 +102,29 @@ class SimThread
 class Scheduler
 {
   public:
-    Scheduler() = default;
+    /** Dispatch core: the indexed ready-heap (default) or the
+     *  original O(threads) scan kept as the equivalence oracle. */
+    enum class Mode
+    {
+        Heap,
+        Legacy,
+    };
+
+    Scheduler();
     Scheduler(const Scheduler &) = delete;
     Scheduler &operator=(const Scheduler &) = delete;
+
+    Mode mode() const { return legacy_ ? Mode::Legacy : Mode::Heap; }
+
+    /** Fiber stack size for threads spawned after this call.  Must be
+     *  at least kMinStackBytes (enough for the deepest simulator
+     *  frames plus sanitizer redzones; sizes are rounded up to whole
+     *  pages so a guard page could sit below the stack). */
+    void setStackBytes(std::size_t bytes);
+    std::size_t stackBytes() const { return stackBytes_; }
+
+    static constexpr std::size_t kMinStackBytes = 64 * 1024;
+    static constexpr std::size_t kDefaultStackBytes = 512 * 1024;
 
     /** Create a thread pinned to @p core; runs on the next run(). */
     ThreadId spawn(CoreId core, std::function<void()> body);
@@ -117,22 +160,26 @@ class Scheduler
     SimThread &thread(ThreadId tid);
     std::size_t threadCount() const { return threads_.size(); }
 
-    /** Largest clock over all threads (machine finish time). */
-    Cycles maxClock() const;
+    /** Largest clock over all threads (machine finish time).
+     *  Maintained incrementally at yield/block/exit/syncClock
+     *  boundaries - O(1), never a scan. */
+    Cycles maxClock() const { return maxSeen_; }
 
     /**
      * Attach a fault plan: when its schedule window is nonzero,
-     * pickNext() chooses uniformly among runnable threads within
-     * that many cycles of the minimum clock instead of always taking
-     * the smallest.  Timing perturbs; protocol atomicity does not
-     * (threads still only switch at their yield points).
+     * dispatch chooses uniformly among runnable threads within that
+     * many cycles of the minimum clock instead of always taking the
+     * smallest.  Timing perturbs; protocol atomicity does not
+     * (threads still only switch at their yield points).  The plan
+     * must already be configured: the window width is latched here.
      */
-    void setFaultPlan(FaultPlan *p) { fault_ = p; }
+    void setFaultPlan(FaultPlan *p);
 
     /**
      * Attach a watchdog polled with the dispatched thread's clock on
      * every dispatch (the machine wires this to the livelock
-     * watchdog).  Must be cheap: it runs once per yield.
+     * watchdog).  Same-thread run slices amortize the poll to every
+     * kWatchdogSlice continues.
      */
     void setWatchdog(std::function<void(Cycles)> w)
     {
@@ -142,19 +189,39 @@ class Scheduler
   private:
     friend class SimThread;
 
+    /** Self-continue yields between watchdog polls on the run-slice
+     *  fast path.  Slices advance a handful of cycles per yield while
+     *  watchdog windows are millions, so the poll density stays far
+     *  denser than the watchdog can resolve. */
+    static constexpr unsigned kWatchdogSlice = 64;
+
     std::vector<std::unique_ptr<SimThread>> threads_;
     SimThread *current_ = nullptr;
-    /** run()'s stop predicate, exposed so yield()'s same-thread fast
-     *  path can keep the per-dispatch stop/watchdog cadence without
-     *  the round-trip to the scheduler stack. */
+    /** run()'s stop predicate (null for the plain run()), exposed so
+     *  yield()'s same-thread fast path can keep the per-dispatch stop
+     *  cadence without the round-trip to the scheduler stack. */
     const std::function<bool()> *stop_ = nullptr;
     /** Thread already picked by yield()'s fast-path check when it
      *  turned out not to be the yielder: run() dispatches it instead
-     *  of re-picking, so pickNext() (and any schedule-perturbation
-     *  RNG draw inside it) still runs exactly once per dispatch. */
+     *  of re-picking, so the pick (and any schedule-perturbation RNG
+     *  draw inside it) still runs exactly once per dispatch. */
     SimThread *pending_ = nullptr;
     FaultPlan *fault_ = nullptr;
+    /** Latched fault schedule window (0 = strict min-clock order). */
+    Cycles window_ = 0;
     std::function<void(Cycles)> watchdog_;
+    /** Binary min-heap over (clock, id) of the Runnable threads that
+     *  are not currently on a fiber (heap-mode dispatch source). */
+    std::vector<SimThread *> ready_;
+    /** Reusable schedule-window candidate buffer (no per-dispatch
+     *  allocation). */
+    std::vector<SimThread *> windowBuf_;
+    /** Incrementally maintained maxClock(). */
+    Cycles maxSeen_ = 0;
+    /** FLEXTM_SCHED=legacy: original scan-based dispatch core. */
+    bool legacy_ = false;
+    unsigned sliceLeft_ = kWatchdogSlice;
+    std::size_t stackBytes_ = kDefaultStackBytes;
     ucontext_t mainCtx_;
     /** ASan fiber bookkeeping for the scheduler's own (host) stack:
      *  fake-stack handle while a fiber runs, and the host stack bounds
@@ -164,7 +231,28 @@ class Scheduler
     const void *asanMainStackBottom_ = nullptr;
     std::size_t asanMainStackSize_ = 0;
 
+    /** (clock, id) lexicographic order - identical to the tid-order
+     *  strict-< scan of the legacy core. */
+    static bool
+    keyLess(const SimThread *a, const SimThread *b)
+    {
+        return a->clock_ < b->clock_ ||
+               (a->clock_ == b->clock_ && a->id_ < b->id_);
+    }
+
+    void runLoop(const std::function<bool()> *stop);
     SimThread *pickNext();
+    /** Heap-mode pick over ready_ plus the (runnable) yielder @p self
+     *  (null when called from the run() loop): min-key thread, or the
+     *  single schedule-window RNG draw when the fault window admits
+     *  more than one candidate.  Does not modify the heap. */
+    SimThread *pickHeap(SimThread *self);
+    void heapPush(SimThread *t);
+    void heapRemove(SimThread *t);
+    void heapSiftUp(std::size_t i);
+    void heapSiftDown(std::size_t i);
+    void noteClockRaised(SimThread &t);
+    void pollWatchdogSliced(Cycles now);
     void switchTo(SimThread &t);
     void threadExit();
 };

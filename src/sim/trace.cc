@@ -8,13 +8,28 @@
 namespace flextm::trace
 {
 
+namespace detail
+{
+
+thread_local unsigned activeMask = 0;
+thread_local bool maskInitialized = false;
+
+void
+initMaskFromEnv()
+{
+    maskInitialized = true;
+    const char *env = std::getenv("FLEXTM_TRACE");
+    if (env && env[0] != '\0')
+        activeMask = parseCategories(env);
+}
+
+} // namespace detail
+
 namespace
 {
 
-/** Trace configuration is per OS thread so concurrent Machines can
- *  trace independently (and the lazy env init cannot race). */
-thread_local unsigned activeMask = 0;
-thread_local bool initialized = false;
+/** Sink routing is per OS thread for the same isolation reason as
+ *  the mask. */
 thread_local Sink activeSink;
 
 const char *
@@ -38,15 +53,6 @@ name(Category c)
       default:
         return "?";
     }
-}
-
-void
-initFromEnv()
-{
-    initialized = true;
-    const char *env = std::getenv("FLEXTM_TRACE");
-    if (env && env[0] != '\0')
-        activeMask = parseCategories(env);
 }
 
 } // anonymous namespace
@@ -85,19 +91,11 @@ parseCategories(const std::string &spec)
 unsigned
 setMask(unsigned m)
 {
-    if (!initialized)
-        initFromEnv();
-    const unsigned prev = activeMask;
-    activeMask = m;
+    if (!detail::maskInitialized)
+        detail::initMaskFromEnv();
+    const unsigned prev = detail::activeMask;
+    detail::activeMask = m;
     return prev;
-}
-
-unsigned
-mask()
-{
-    if (!initialized)
-        initFromEnv();
-    return activeMask;
 }
 
 void

@@ -40,8 +40,25 @@ unsigned parseCategories(const std::string &spec);
 /** Replace the active category mask; returns the previous mask. */
 unsigned setMask(unsigned mask);
 
+namespace detail
+{
+/** Per OS thread so concurrent Machines trace independently (and the
+ *  lazy env init cannot race).  Exposed only so mask()/enabled()
+ *  inline to a TLS load + predicted branch at every FTRACE site
+ *  instead of a call into trace.cc per memory event. */
+extern thread_local unsigned activeMask;
+extern thread_local bool maskInitialized;
+void initMaskFromEnv();
+} // namespace detail
+
 /** Current mask (initialized from FLEXTM_TRACE on first use). */
-unsigned mask();
+inline unsigned
+mask()
+{
+    if (!detail::maskInitialized)
+        detail::initMaskFromEnv();
+    return detail::activeMask;
+}
 
 inline bool
 enabled(Category c)

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Scheduler-equivalence teeth tests.
+ *
+ * The event-driven ready-heap core must be *observationally
+ * identical* to the original O(threads) scan it replaced: same
+ * dispatch order, same clocks, same single RNG draw per contended
+ * dispatch under a fault schedule window, and - at machine level -
+ * byte-identical stats dumps for every runtime.  FLEXTM_SCHED=legacy
+ * selects the original core (kept verbatim in thread.cc), which
+ * serves as the oracle here: every scenario runs once per mode and
+ * the results are compared field by field.
+ *
+ * Failure in this file means the two cores diverged - either a heap
+ * invariant broke (decrease-key on syncClock, wake-from-blocked
+ * ordering) or the run-slice fast path changed the dispatch
+ * contract.  That is a correctness bug in the scheduler, not a
+ * golden to regenerate.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime_factory.hh"
+#include "sim/fault.hh"
+#include "sim/thread.hh"
+#include "workloads/fault_harness.hh"
+
+namespace flextm
+{
+namespace
+{
+
+/** Run @p fn once per scheduler mode and return both results.
+ *  FLEXTM_SCHED is read in the Scheduler constructor, so flipping
+ *  the environment between Machine constructions is sufficient. */
+template <typename F>
+auto
+perMode(F &&fn) -> std::pair<decltype(fn()), decltype(fn())>
+{
+    ::unsetenv("FLEXTM_SCHED");
+    auto heap = fn();
+    ::setenv("FLEXTM_SCHED", "legacy", 1);
+    auto legacy = fn();
+    ::unsetenv("FLEXTM_SCHED");
+    return {std::move(heap), std::move(legacy)};
+}
+
+// ---------------------------------------------------------------
+// Raw-Scheduler unit tests: heap invariants the machine layer never
+// exercises directly.
+// ---------------------------------------------------------------
+
+TEST(SchedulerEquiv, ModeFollowsEnvironment)
+{
+    ::unsetenv("FLEXTM_SCHED");
+    EXPECT_EQ(Scheduler().mode(), Scheduler::Mode::Heap);
+    ::setenv("FLEXTM_SCHED", "legacy", 1);
+    EXPECT_EQ(Scheduler().mode(), Scheduler::Mode::Legacy);
+    ::unsetenv("FLEXTM_SCHED");
+    EXPECT_EQ(Scheduler().mode(), Scheduler::Mode::Heap);
+}
+
+/** syncClock on a thread parked in the ready heap must re-sift it:
+ *  thread 0 pushes thread 2's clock past thread 1's while thread 2
+ *  is parked, which must change who runs next exactly as it does
+ *  under the legacy scan. */
+TEST(SchedulerEquiv, SyncClockResiftsParkedThread)
+{
+    auto runOnce = [] {
+        Scheduler s;
+        std::vector<int> order;
+        s.spawn(0, [&] {
+            order.push_back(0);
+            // Thread 2 is runnable at clock 0; shove it to 50 while
+            // it sits in the ready queue.
+            s.thread(2).syncClock(50);
+            s.advance(5);
+            s.yield();
+            order.push_back(0);
+        });
+        s.spawn(1, [&] {
+            order.push_back(1);
+            s.advance(100);
+            s.yield();
+            order.push_back(1);
+        });
+        s.spawn(2, [&] {
+            order.push_back(2);
+            s.advance(1);
+            s.yield();
+            order.push_back(2);
+        });
+        s.run();
+        return order;
+    };
+    const auto [heap, legacy] = perMode(runOnce);
+    EXPECT_EQ(heap, legacy);
+    // Spelled out: t0@0 runs, raises t2 to 50; t1@0, then t0@5
+    // again (finishes), then t2@50 runs and yields to 51, then
+    // t2@51, then t1@100.
+    const std::vector<int> want = {0, 1, 0, 2, 2, 1};
+    EXPECT_EQ(heap, want);
+}
+
+/** A barrier release wakes all parties at the releaser's clock; the
+ *  tied threads must drain in thread-id order in both cores. */
+TEST(SchedulerEquiv, WakeFromBlockedDispatchesInIdOrder)
+{
+    auto runOnce = [] {
+        Scheduler s;
+        SimBarrier bar(s, 4);
+        std::vector<int> order;
+        for (unsigned t = 0; t < 4; ++t) {
+            s.spawn(t, [&s, &bar, &order, t] {
+                // Distinct arrival clocks so the release point is
+                // reached by exactly one thread.
+                s.advance((3 - t) * 7 + 1);
+                s.yield();
+                bar.wait();
+                order.push_back(static_cast<int>(t));
+                s.advance(1);
+                s.yield();
+                order.push_back(static_cast<int>(t));
+            });
+        }
+        s.run();
+        return order;
+    };
+    const auto [heap, legacy] = perMode(runOnce);
+    EXPECT_EQ(heap, legacy);
+    ASSERT_EQ(heap.size(), 8u);
+    // All four woke at the same clock: id order decides.
+    EXPECT_EQ(std::vector<int>(heap.begin(), heap.begin() + 4),
+              (std::vector<int>{0, 1, 2, 3}));
+}
+
+/** The schedule-window contract: exactly one RNG draw per dispatch
+ *  that has more than one candidate inside the window, zero draws
+ *  otherwise, and the same draw sequence (hence dispatch order) in
+ *  both cores. */
+TEST(SchedulerEquiv, WindowDrawCountMatchesLegacy)
+{
+    struct Result
+    {
+        std::vector<int> order;
+        std::uint64_t draws;
+
+        bool operator==(const Result &o) const
+        {
+            return order == o.order && draws == o.draws;
+        }
+    };
+    auto runOnce = [] {
+        FaultConfig cfg;
+        cfg.seed = 1234;
+        cfg.schedWindowCycles = 8;
+        FaultPlan plan;
+        plan.configure(cfg, 1);
+
+        Scheduler s;
+        s.setFaultPlan(&plan);
+        std::vector<int> order;
+        for (unsigned t = 0; t < 3; ++t) {
+            s.spawn(t, [&s, &order, t] {
+                for (int i = 0; i < 40; ++i) {
+                    order.push_back(static_cast<int>(t));
+                    s.advance(3);  // clocks stay within the window
+                    s.yield();
+                }
+            });
+        }
+        s.run();
+        return Result{std::move(order), plan.pickCalls()};
+    };
+    const auto [heap, legacy] = perMode(runOnce);
+    EXPECT_EQ(heap.order, legacy.order);
+    EXPECT_EQ(heap.draws, legacy.draws);
+    // 3 threads x 40 steps = 120 dispatches; nearly all are
+    // contended (clocks stay within 8 of each other), and the tail
+    // where only one thread remains must not draw at all.
+    EXPECT_GT(heap.draws, 100u);
+    EXPECT_LE(heap.draws, 120u);
+}
+
+/** A sole runnable thread never consults the RNG, window or not:
+ *  the fast path must not burn draws the legacy core would not. */
+TEST(SchedulerEquiv, SoleRunnableNeverDraws)
+{
+    auto runOnce = [] {
+        FaultConfig cfg;
+        cfg.seed = 99;
+        cfg.schedWindowCycles = 64;
+        FaultPlan plan;
+        plan.configure(cfg, 1);
+
+        Scheduler s;
+        s.setFaultPlan(&plan);
+        s.spawn(0, [&s] {
+            for (int i = 0; i < 100; ++i) {
+                s.advance(2);
+                s.yield();
+            }
+        });
+        s.run();
+        return plan.pickCalls();
+    };
+    const auto [heap, legacy] = perMode(runOnce);
+    EXPECT_EQ(heap, 0u);
+    EXPECT_EQ(legacy, 0u);
+}
+
+// ---------------------------------------------------------------
+// Machine-level equivalence: every runtime, chaos faults, full
+// counter dump compared byte for byte.
+// ---------------------------------------------------------------
+
+struct CellResult
+{
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t faultsFired = 0;
+    std::uint64_t checkedOps = 0;
+    bool ok = false;
+    std::string dump;
+};
+
+CellResult
+runCell(WorkloadKind wk, RuntimeKind rk, std::uint64_t seed)
+{
+    CellResult res;
+    FaultRunOptions opt;
+    opt.seed = seed;
+    opt.quiet = true;
+    opt.inspect = [&res](Machine &m) {
+        m.stats().forEachCounter(
+            [&res](const std::string &name, std::uint64_t v) {
+                res.dump += name;
+                res.dump += '=';
+                res.dump += std::to_string(v);
+                res.dump += '\n';
+            });
+    };
+    const FaultRunResult r = runFaultedExperiment(wk, rk, opt);
+    res.commits = r.commits;
+    res.aborts = r.aborts;
+    res.cycles = r.cycles;
+    res.faultsFired = r.faultsFired;
+    res.checkedOps = r.report.checkedOps;
+    res.ok = r.report.ok && !r.timedOut;
+    return res;
+}
+
+void
+expectIdentical(const CellResult &heap, const CellResult &legacy,
+                const std::string &label)
+{
+    EXPECT_TRUE(heap.ok) << label << " (heap core)";
+    EXPECT_TRUE(legacy.ok) << label << " (legacy core)";
+    EXPECT_EQ(heap.commits, legacy.commits) << label;
+    EXPECT_EQ(heap.aborts, legacy.aborts) << label;
+    EXPECT_EQ(heap.cycles, legacy.cycles) << label;
+    EXPECT_EQ(heap.faultsFired, legacy.faultsFired) << label;
+    EXPECT_EQ(heap.checkedOps, legacy.checkedOps) << label;
+    EXPECT_EQ(heap.dump, legacy.dump)
+        << label << ": full stats dump diverged";
+}
+
+class SchedulerEquivRuntime
+    : public ::testing::TestWithParam<RuntimeKind>
+{
+};
+
+TEST_P(SchedulerEquivRuntime, StatsDumpByteIdentical)
+{
+    const RuntimeKind rk = GetParam();
+    const WorkloadKind cells[] = {WorkloadKind::HashTable,
+                                  WorkloadKind::LFUCache};
+    std::uint64_t seed = 77100;
+    for (WorkloadKind wk : cells) {
+        ++seed;
+        const auto [heap, legacy] = perMode(
+            [&] { return runCell(wk, rk, seed); });
+        expectIdentical(heap, legacy,
+                        std::string(runtimeKindName(rk)) + "/" +
+                            workloadKindName(wk) + "/" +
+                            std::to_string(seed));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, SchedulerEquivRuntime,
+    ::testing::ValuesIn(allRuntimeKinds()),
+    [](const auto &info) {
+        std::string n = runtimeKindName(info.param);
+        n.erase(std::remove_if(n.begin(), n.end(),
+                               [](char c) { return !std::isalnum(
+                                   static_cast<unsigned char>(c)); }),
+                n.end());
+        return n;
+    });
+
+/** The wide sweep: 54 seeded chaos cells (runtime x workload x
+ *  seed) checked by the serializability oracle under both cores.
+ *  This is the fault/oracle matrix of the teeth contract - any
+ *  schedule divergence shows up as a differing cycle count or
+ *  counter long before it corrupts a history. */
+TEST(SchedulerEquiv, FaultOracleSweep54Seeds)
+{
+    const auto &kinds = allRuntimeKinds();
+    const WorkloadKind wks[] = {WorkloadKind::HashTable,
+                                WorkloadKind::LFUCache,
+                                WorkloadKind::HotSpot};
+    const unsigned n = 54;
+    for (unsigned i = 0; i < n; ++i) {
+        const RuntimeKind rk = kinds[i % kinds.size()];
+        const WorkloadKind wk = wks[(i / kinds.size()) % 3];
+        const std::uint64_t seed = 90000 + i;
+        const auto [heap, legacy] = perMode(
+            [&] { return runCell(wk, rk, seed); });
+        expectIdentical(heap, legacy,
+                        std::string(runtimeKindName(rk)) + "/" +
+                            workloadKindName(wk) + "/" +
+                            std::to_string(seed));
+        if (::testing::Test::HasFatalFailure())
+            break;
+    }
+}
+
+} // anonymous namespace
+} // namespace flextm
