@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "mem/dram/dram_backend.hh"
+#include "sim/env_util.hh"
 #include "sim/logging.hh"
 
 namespace flextm
@@ -33,17 +34,14 @@ validateDramConfig(const DramConfig &cfg)
 MemBackendKind
 envMemBackend(MemBackendKind fallback)
 {
-    const char *s = std::getenv("FLEXTM_MEM_BACKEND");
-    if (!s || !*s)
-        return fallback;
-    if (!std::strcmp(s, "fixed"))
+    switch (env::choiceOr("FLEXTM_MEM_BACKEND", {"fixed", "dram"})) {
+      case 0:
         return MemBackendKind::Fixed;
-    if (!std::strcmp(s, "dram"))
+      case 1:
         return MemBackendKind::Dram;
-    sim_warn("FLEXTM_MEM_BACKEND=%s not recognized (fixed/dram); "
-             "keeping configured backend\n",
-             s);
-    return fallback;
+      default:
+        return fallback;
+    }
 }
 
 std::unique_ptr<MemBackend>

@@ -8,6 +8,7 @@
 #include "mem/memory_system.hh"
 #include "runtime/tx_thread.hh"
 #include "sim/auditor.hh"
+#include "sim/env_util.hh"
 #include "sim/logging.hh"
 #include "sim/progress.hh"
 
@@ -37,30 +38,33 @@ cmPolicyName(CmPolicy p)
 CmPolicy
 envCmPolicy(CmPolicy fallback)
 {
-    const char *e = std::getenv("FLEXTM_CM_POLICY");
-    if (e == nullptr || *e == '\0')
-        return fallback;
-    if (std::strcmp(e, "polka") == 0)
+    // Synonym spellings stay accepted; anything else is fatal rather
+    // than a warn-and-fallback (a policy sweep that silently reran
+    // polka six times looked healthy and measured nothing).
+    switch (env::choiceOr("FLEXTM_CM_POLICY",
+                          {"polka", "aggressive", "timid", "timestamp",
+                           "timestamp-greedy", "randomized",
+                           "randomized-backoff", "backoff", "serial",
+                           "serial-irrevocable-first"})) {
+      case 0:
         return CmPolicy::Polka;
-    if (std::strcmp(e, "aggressive") == 0)
+      case 1:
         return CmPolicy::Aggressive;
-    if (std::strcmp(e, "timid") == 0)
+      case 2:
         return CmPolicy::Timid;
-    if (std::strcmp(e, "timestamp") == 0 ||
-        std::strcmp(e, "timestamp-greedy") == 0)
+      case 3:
+      case 4:
         return CmPolicy::TimestampGreedy;
-    if (std::strcmp(e, "randomized") == 0 ||
-        std::strcmp(e, "randomized-backoff") == 0 ||
-        std::strcmp(e, "backoff") == 0)
+      case 5:
+      case 6:
+      case 7:
         return CmPolicy::RandomizedBackoff;
-    if (std::strcmp(e, "serial") == 0 ||
-        std::strcmp(e, "serial-irrevocable-first") == 0)
+      case 8:
+      case 9:
         return CmPolicy::SerialIrrevocableFirst;
-    sim_warn("FLEXTM_CM_POLICY=%s not recognized (want polka / "
-             "aggressive / timid / timestamp / randomized / serial); "
-             "keeping %s",
-             e, cmPolicyName(fallback));
-    return fallback;
+      default:
+        return fallback;
+    }
 }
 
 CmPolicyBase::~CmPolicyBase() = default;

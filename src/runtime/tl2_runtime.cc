@@ -1,7 +1,5 @@
 #include "runtime/tl2_runtime.hh"
 
-#include <algorithm>
-
 #include "mem/memory_system.hh"
 #include "runtime/conflict_manager.hh"
 #include "sim/logging.hh"
@@ -9,24 +7,6 @@
 
 namespace flextm
 {
-
-namespace
-{
-
-/** Even values are versions; odd values are lock words. */
-bool
-isLocked(std::uint64_t word)
-{
-    return (word & 1) != 0;
-}
-
-CoreId
-lockOwner(std::uint64_t word)
-{
-    return static_cast<CoreId>(word >> 1);
-}
-
-} // anonymous namespace
 
 Tl2Globals::Tl2Globals(Machine &machine) : m(machine)
 {
@@ -50,12 +30,6 @@ Tl2Thread::Tl2Thread(Machine &m, Tl2Globals &g, ThreadId tid,
     logBase_ = m_.memory().allocate(64 * 1024, lineBytes);
 }
 
-std::uint64_t
-Tl2Thread::myLockWord() const
-{
-    return (std::uint64_t{core_} << 1) | 1;
-}
-
 void
 Tl2Thread::logAppend(unsigned words)
 {
@@ -69,14 +43,9 @@ Tl2Thread::logAppend(unsigned words)
     }
 }
 
-void
-Tl2Thread::beginTx()
+std::uint64_t
+Tl2Thread::sampleClock()
 {
-    writeSet_.clear();
-    readSet_.clear();
-    held_.clear();
-    wsFilter_ = 0;
-    logSlot_ = 0;
     // The read-version sample is the serialization point of read-only
     // transactions (GV1), so the stamp must be host-atomic with the
     // clock load: issue the access inline and stamp before the
@@ -85,181 +54,94 @@ Tl2Thread::beginTx()
     MemResult r =
         m_.memsys().access(core_, AccessType::Load, g_.clockAddr, 8,
                            &clk, m_.scheduler().now());
-    rv_ = clk;
     oracleStamp();
     charge(r.latency);
     work(25);  // setjmp register checkpoint
+    return clk;
 }
 
 std::uint64_t
-Tl2Thread::txRead(Addr a, unsigned size)
+Tl2Thread::bumpClock()
 {
-    // Write-set lookup (Bloom filter + log probe on a hit).
-    work(1);
-    const std::uint64_t fbit =
-        std::uint64_t{1} << ((a >> 3) & 63);
-    if ((wsFilter_ & fbit) != 0) {
-        auto it = writeSet_.find(a);
-        if (it != writeSet_.end()) {
-            work(3);
-            return it->second.value;
-        }
-    }
-
-    const Addr lock = g_.lockFor(a);
-    const std::uint64_t l1 = plainRead(lock, 8);
-    if (isLocked(l1) || l1 > rv_)
-        throw TxAbort{AbortCause::Validation};
-
-    const std::uint64_t v = plainRead(a, size);
-
-    const std::uint64_t l2 = plainRead(lock, 8);
-    if (l2 != l1)
-        throw TxAbort{AbortCause::Validation};
-
-    readSet_.emplace_back(lock, l1);
-    logAppend(1);
-    return v;
-}
-
-void
-Tl2Thread::txWrite(Addr a, std::uint64_t v, unsigned size)
-{
-    writeSet_[a] = WsEntry{v, size};
-    wsFilter_ |= std::uint64_t{1} << ((a >> 3) & 63);
-    logAppend(2);
-}
-
-void
-Tl2Thread::releaseHeld(bool restore_old, std::uint64_t wv)
-{
-    for (const auto &[lock, old] : held_)
-        plainWrite(lock, restore_old ? old : wv, 8);
-    held_.clear();
-}
-
-bool
-Tl2Thread::commitTx()
-{
-    // Read-only transactions commit without further work (their
-    // per-read validations against rv suffice).
-    if (writeSet_.empty())
-        return true;
-
-    // Acquire stripe locks in address order (deadlock freedom).
-    std::vector<Addr> locks;
-    locks.reserve(writeSet_.size());
-    for (const auto &[a, e] : writeSet_)
-        locks.push_back(g_.lockFor(a));
-    std::sort(locks.begin(), locks.end());
-    locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
-
-    for (Addr lock : locks) {
-        PolkaHooks hooks;
-        hooks.enemyActive = [this, lock] {
-            const std::uint64_t w = plainRead(lock, 8);
-            return isLocked(w) && lockOwner(w) != core_;
-        };
-        // TL2 owners drain on their own; stripe locks have no abort
-        // handle, so "kill" is a no-op and policies fall back to
-        // waiting or requester-abort.
-        hooks.abortEnemy = [] {};
-        hooks.enemyKarma = [] { return std::uint64_t{0}; };
-        hooks.enemyIrrevocable = [this, lock] {
-            std::uint64_t w = 0;
-            m_.memsys().peek(lock, &w, 8);
-            return isLocked(w) &&
-                   m_.progress().isIrrevocableCore(lockOwner(w));
-        };
-        hooks.enemyCore = [this, lock] {
-            std::uint64_t w = 0;
-            m_.memsys().peek(lock, &w, 8);
-            return isLocked(w) ? lockOwner(w) : invalidCore;
-        };
-        unsigned tries = 0;
-        for (;;) {
-            const std::uint64_t cur = plainRead(lock, 8);
-            if (!isLocked(cur)) {
-                if (casWord(lock, cur, myLockWord(), 8).success) {
-                    held_.emplace_back(lock, cur);
-                    break;
-                }
-            } else if (lockOwner(cur) == core_) {
-                break;  // already ours (aliasing stripes)
-            }
-            // One policy-shaped wait round.  Under the serial-
-            // irrevocable fallback we must not give up: competitors
-            // stall at begin, so the lock holder is a draining
-            // in-flight transaction - wait it out.  On a requester
-            // abort the stripe locks acquired so far must be
-            // released before the unwind.
-            try {
-                m_.cmPolicy().lockWaitRound(*this, hooks, ++tries);
-            } catch (const TxAbort &) {
-                releaseHeld(true, 0);
-                throw;
-            }
-        }
-    }
-
-    // Bump the global clock.  GV1 clock order is commit order, so
-    // the successful CAS is the serialization point: stamp before
-    // the latency charge can yield to a later-bumping peer.
-    std::uint64_t wv;
+    // GV1 clock order is commit order, so the successful CAS is the
+    // serialization point: stamp before the latency charge can yield
+    // to a later-bumping peer.
     for (;;) {
         const std::uint64_t c = plainRead(g_.clockAddr, 8);
         CasOutcome o = m_.memsys().cas(core_, g_.clockAddr, c, c + 2,
                                        8, m_.scheduler().now());
         if (o.success) {
-            wv = c + 2;
             oracleStamp();
             charge(o.latency);
-            break;
+            return c + 2;
         }
         charge(o.latency);
     }
+}
 
-    // Validate the read set unless nothing moved under us.
-    if (wv != rv_ + 2) {
-        for (const auto &[lock, ver] : readSet_) {
-            std::uint64_t cur = plainRead(lock, 8);
-            if (isLocked(cur)) {
-                if (lockOwner(cur) != core_) {
-                    releaseHeld(true, 0);
-                    throw TxAbort{AbortCause::Validation};
-                }
-                // Locked by us: validate against the pre-lock word
-                // (the version the stripe had when we acquired it).
-                for (const auto &[haddr, old] : held_) {
-                    if (haddr == lock) {
-                        cur = old;
-                        break;
-                    }
-                }
-            }
-            if (isLocked(cur) || cur != ver) {
-                releaseHeld(true, 0);
-                throw TxAbort{AbortCause::Validation};
-            }
-        }
-    }
+void
+Tl2Thread::lockWaitRound(Addr lock, unsigned tries)
+{
+    PolkaHooks hooks;
+    hooks.enemyActive = [this, lock] {
+        const std::uint64_t w = plainRead(lock, 8);
+        return tl2IsLocked(w) && !ownsLock(w);
+    };
+    // TL2 owners drain on their own; stripe locks have no abort
+    // handle, so "kill" is a no-op and policies fall back to waiting
+    // or requester-abort.
+    hooks.abortEnemy = [] {};
+    hooks.enemyKarma = [] { return std::uint64_t{0}; };
+    hooks.enemyIrrevocable = [this, lock] {
+        std::uint64_t w = 0;
+        m_.memsys().peek(lock, &w, 8);
+        return tl2IsLocked(w) &&
+               m_.progress().isIrrevocableCore(
+                   static_cast<CoreId>(tl2LockOwner(w)));
+    };
+    hooks.enemyCore = [this, lock] {
+        std::uint64_t w = 0;
+        m_.memsys().peek(lock, &w, 8);
+        return tl2IsLocked(w) ? static_cast<CoreId>(tl2LockOwner(w))
+                              : invalidCore;
+    };
+    // One policy-shaped wait round.  Under the serial-irrevocable
+    // fallback we must not give up: competitors stall at begin, so
+    // the lock holder is a draining in-flight transaction - wait it
+    // out.
+    m_.cmPolicy().lockWaitRound(*this, hooks, tries);
+}
 
-    // Write back the redo log and release with the new version
-    // (address order, as the std::map write set used to iterate).
-    writeSet_.forEachSorted([this](Addr a, const WsEntry &e) {
-        plainWrite(a, e.value, e.size);
-    });
-    releaseHeld(false, wv);
+void
+Tl2Thread::beginTx()
+{
+    algo_.begin(*this);
+}
+
+std::uint64_t
+Tl2Thread::txRead(Addr a, unsigned size)
+{
+    return algo_.read(*this, a, size);
+}
+
+void
+Tl2Thread::txWrite(Addr a, std::uint64_t v, unsigned size)
+{
+    algo_.write(*this, a, v, size);
+}
+
+bool
+Tl2Thread::commitTx()
+{
+    algo_.commit(*this);
     return true;
 }
 
 void
 Tl2Thread::abortCleanup()
 {
-    sim_assert(held_.empty(), "aborted with stripe locks held");
-    writeSet_.clear();
-    readSet_.clear();
-    wsFilter_ = 0;
+    sim_assert(!algo_.locksHeld(), "aborted with stripe locks held");
+    algo_.abortCleanup();
 }
 
 } // namespace flextm

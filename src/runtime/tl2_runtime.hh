@@ -3,26 +3,22 @@
  * TL2-style word-based software TM (Dice, Shalev & Shavit [11]) -
  * the blocking-STM baseline of Workload-Set 2 (Figure 4f-g).
  *
- * Classic GV1 TL2: a global version clock; per-stripe versioned
- * write-locks; invisible readers validated against the clock; lazy
- * versioning in a redo log; commit-time lock acquisition, clock
- * bump, read-set validation, write-back, and versioned release.
- *
- * All metadata traffic (lock words, the clock, read/write-set log
- * appends) is issued as real simulated memory accesses, so TL2's
- * bookkeeping shows up as genuine cache/coherence work - exactly the
- * overhead the paper's comparison is about ("the bookkeeping required
- * prior to the first read, for post-read validation, and at commit
- * time").
+ * The algorithm itself (GV1 clock, per-stripe versioned write-locks,
+ * invisible readers, redo-log lazy versioning, the commit protocol)
+ * lives in runtime/tl2_algo.hh, shared with the native libflextm
+ * backend.  This file supplies the simulated World: all metadata
+ * traffic (lock words, the clock, read/write-set log appends) is
+ * issued as real simulated memory accesses, so TL2's bookkeeping
+ * shows up as genuine cache/coherence work - exactly the overhead the
+ * paper's comparison is about ("the bookkeeping required prior to the
+ * first read, for post-read validation, and at commit time").
  */
 
 #ifndef FLEXTM_RUNTIME_TL2_RUNTIME_HH
 #define FLEXTM_RUNTIME_TL2_RUNTIME_HH
 
-#include <vector>
-
+#include "runtime/tl2_algo.hh"
 #include "runtime/tx_thread.hh"
-#include "sim/flat_map.hh"
 
 namespace flextm
 {
@@ -41,13 +37,55 @@ struct Tl2Globals
     Addr lockFor(Addr a) const;
 };
 
-/** One TL2 thread. */
+/** One TL2 thread: the simulated World driving the shared core. */
 class Tl2Thread : public TxThread
 {
   public:
     Tl2Thread(Machine &m, Tl2Globals &g, ThreadId tid, CoreId core);
 
     std::string name() const override { return "TL2"; }
+
+    /** @name World interface consumed by Tl2Algo
+     *  Every call issues simulated memory traffic and/or charges
+     *  bookkeeping work; tl2_algo.hh's call order is the frozen
+     *  contract for the determinism goldens. */
+    /// @{
+    std::uint64_t sampleClock();
+    std::uint64_t bumpClock();
+    Addr lockFor(Addr a) const { return g_.lockFor(a); }
+    std::uint64_t loadLock(Addr lock) { return plainRead(lock, 8); }
+    std::uint64_t loadData(Addr a, unsigned size)
+    {
+        return plainRead(a, size);
+    }
+    bool casLock(Addr lock, std::uint64_t expected,
+                 std::uint64_t desired)
+    {
+        return casWord(lock, expected, desired, 8).success;
+    }
+    void storeLock(Addr lock, std::uint64_t word)
+    {
+        plainWrite(lock, word, 8);
+    }
+    void writeData(Addr a, std::uint64_t v, unsigned size)
+    {
+        plainWrite(a, v, size);
+    }
+    std::uint64_t myLockWord() const
+    {
+        return tl2MakeLockWord(core_);
+    }
+    bool ownsLock(std::uint64_t word) const
+    {
+        return tl2LockOwner(word) == core_;
+    }
+    void lockWaitRound(Addr lock, unsigned tries);
+    void onBegin() { logSlot_ = 0; }
+    void onReadIssued() { work(1); }
+    void onWriteSetHit() { work(3); }
+    void onReadLogged() { logAppend(1); }
+    void onWriteLogged() { logAppend(2); }
+    /// @}
 
   protected:
     void beginTx() override;
@@ -57,31 +95,14 @@ class Tl2Thread : public TxThread
     void txWrite(Addr a, std::uint64_t v, unsigned size) override;
 
   private:
-    struct WsEntry
-    {
-        std::uint64_t value;
-        unsigned size;
-    };
-
     Tl2Globals &g_;
     Addr logBase_;          //!< per-thread log region (bookkeeping)
     unsigned logSlot_ = 0;
-    std::uint64_t rv_ = 0;  //!< read version at begin
 
-    /** Redo log, keyed by address (host-side index; the simulated
-     *  log writes model the memory cost). */
-    FlatMap<Addr, WsEntry> writeSet_;
-    std::uint64_t wsFilter_ = 0;  //!< cheap per-txn Bloom filter
+    /** The shared TL2 protocol state (read/write sets, held locks). */
+    Tl2Algo<Addr, Addr> algo_;
 
-    /** Read set: (lock word address, observed version). */
-    std::vector<std::pair<Addr, std::uint64_t>> readSet_;
-
-    /** Locks held during commit: (lock addr, pre-lock word). */
-    std::vector<std::pair<Addr, std::uint64_t>> held_;
-
-    std::uint64_t myLockWord() const;
     void logAppend(unsigned words);
-    void releaseHeld(bool restore_old, std::uint64_t wv);
 };
 
 } // namespace flextm

@@ -10,28 +10,6 @@
 namespace flextm
 {
 
-const char *
-abortCauseName(AbortCause c)
-{
-    switch (c) {
-      case AbortCause::Unknown:
-        return "unknown";
-      case AbortCause::CmSelf:
-        return "cm_self";
-      case AbortCause::EnemyKill:
-        return "enemy_kill";
-      case AbortCause::Validation:
-        return "validation";
-      case AbortCause::Capacity:
-        return "capacity";
-      case AbortCause::Fault:
-        return "fault";
-      case AbortCause::IrrevocableDefer:
-        return "irrevocable_defer";
-    }
-    return "?";
-}
-
 TxThread::HotCounters::HotCounters(StatRegistry &s)
     : txCommits(s.counter("tx.commits")), txAborts(s.counter("tx.aborts")),
       txNestedCommits(s.counter("tx.nested_commits")),

@@ -23,44 +23,12 @@
 #include <vector>
 
 #include "runtime/machine.hh"
+#include "runtime/tx_abort.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
 namespace flextm
 {
-
-/**
- * Why a transaction attempt died.  Tagged onto TxAbort at the throw
- * site; txn() folds it into the machine-wide aborts.byCause.* and
- * per-thread counters so starvation and its mechanism are visible in
- * every run, not just the bench.
- */
-enum class AbortCause : unsigned
-{
-    Unknown = 0,      //!< untagged legacy site
-    CmSelf,           //!< contention manager chose requester-abort
-    EnemyKill,        //!< an enemy CASed our status word
-    Validation,       //!< read-set / header validation failed
-    Capacity,         //!< bounded-HTM footprint overflow
-    Fault,            //!< injected fault (forced abort, ctx switch)
-    IrrevocableDefer, //!< commit deferred to the token holder
-};
-
-constexpr unsigned kNumAbortCauses =
-    static_cast<unsigned>(AbortCause::IrrevocableDefer) + 1;
-
-const char *abortCauseName(AbortCause c);
-
-/** Thrown by runtime internals to restart the current transaction. */
-struct TxAbort
-{
-    AbortCause cause = AbortCause::Unknown;
-};
-
-/** Thrown by abortNested() to unwind one closed-nesting level. */
-struct NestedAbort
-{
-};
 
 /** Transaction status word values (Table 1). */
 enum TswValue : std::uint32_t

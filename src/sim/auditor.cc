@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "mem/memory_system.hh"
+#include "sim/env_util.hh"
 #include "sim/logging.hh"
 #include "sim/oracle.hh"
 
@@ -45,21 +46,19 @@ toHex(std::uint64_t v)
 AuditLevel
 envAuditLevel(AuditLevel fallback)
 {
-    const char *s = std::getenv("FLEXTM_AUDITOR");
-    if (!s || !*s)
-        return fallback;
-    if (!std::strcmp(s, "off"))
+    switch (env::choiceOr("FLEXTM_AUDITOR",
+                          {"off", "switch", "txn", "transition"})) {
+      case 0:
         return AuditLevel::Off;
-    if (!std::strcmp(s, "switch"))
+      case 1:
         return AuditLevel::SwitchOnly;
-    if (!std::strcmp(s, "txn"))
+      case 2:
         return AuditLevel::TxnBoundary;
-    if (!std::strcmp(s, "transition"))
+      case 3:
         return AuditLevel::Transition;
-    sim_warn("FLEXTM_AUDITOR=%s not recognized "
-             "(off/switch/txn/transition); keeping configured level\n",
-             s);
-    return fallback;
+      default:
+        return fallback;
+    }
 }
 
 StateAuditor::StateAuditor(const MachineConfig &cfg, MemorySystem &ms)

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "sim/env_util.hh"
 #include "sim/logging.hh"
 
 namespace flextm
@@ -147,14 +148,11 @@ FaultPlan::setActive(FaultPlan *p)
 std::uint64_t
 envFaultSeed(std::uint64_t fallback)
 {
-    const char *env = std::getenv("FLEXTM_FAULT_SEED");
-    if (!env || env[0] == '\0')
-        return fallback;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 0);
-    if (end == env || *end != '\0')
-        return fallback;
-    return static_cast<std::uint64_t>(v);
+    // Base 0: failing-sweep reports print seeds in hex, so 0x...
+    // reproduces verbatim.  A typo'd seed is fatal - silently
+    // replaying the fallback seed instead of the one asked for made
+    // "cannot reproduce" debugging sessions.
+    return env::u64Or("FLEXTM_FAULT_SEED", fallback, 0, UINT64_MAX, 0);
 }
 
 } // namespace flextm

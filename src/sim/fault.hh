@@ -127,8 +127,9 @@ class FaultPlan
 
 /**
  * FLEXTM_FAULT_SEED environment override for reproducing a failing
- * sweep member: returns the parsed value, or @p fallback when the
- * variable is unset or unparsable.
+ * sweep member: returns the parsed value (base 0, so 0x-prefixed hex
+ * seeds from failure reports paste verbatim), or @p fallback when the
+ * variable is unset.  Garbage is fatal.
  */
 std::uint64_t envFaultSeed(std::uint64_t fallback);
 

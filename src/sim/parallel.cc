@@ -1,0 +1,23 @@
+#include "sim/parallel.hh"
+
+#include "sim/fault.hh"
+#include "sim/trace.hh"
+
+namespace flextm
+{
+
+void
+resetTaskTls()
+{
+    // A well-behaved task tears these down itself (~Machine clears
+    // the plan it installed, tests restore the masks they set), but a
+    // task that aborted mid-experiment - or simply forgot - would
+    // otherwise hand its successor on the same pool thread a live
+    // fault plan or an enabled trace mask.
+    FaultPlan::setActive(nullptr);
+    trace::detail::activeMask = 0;
+    trace::detail::maskInitialized = false;
+    trace::setSink({});
+}
+
+} // namespace flextm

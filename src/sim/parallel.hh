@@ -26,25 +26,39 @@
 #include <thread>
 #include <vector>
 
+#include "sim/env_util.hh"
+
 namespace flextm
 {
 
 /**
  * Worker count for sweep drivers: FLEXTM_JOBS when set (0 or 1
- * serialize), otherwise the hardware concurrency.
+ * serialize), otherwise the hardware concurrency.  A garbage or
+ * overflowing FLEXTM_JOBS is fatal - a sweep silently running at an
+ * unintended width is exactly the kind of quiet misconfiguration the
+ * strict env contract exists to catch.
  */
 inline unsigned
 defaultJobs()
 {
-    if (const char *env = std::getenv("FLEXTM_JOBS")) {
-        char *end = nullptr;
-        const unsigned long v = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0')
-            return v == 0 ? 1u : static_cast<unsigned>(v);
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1u : hw;
+    const std::uint64_t v =
+        env::u64Or("FLEXTM_JOBS",
+                   std::max(1u, std::thread::hardware_concurrency()),
+                   0, 4096);
+    return v == 0 ? 1u : static_cast<unsigned>(v);
 }
+
+/**
+ * Reset the process-wide-per-OS-thread simulator state (the active
+ * fault plan, the trace mask/sink) to its fresh-thread condition.
+ * parallelFor calls this before every task: pool threads - and the
+ * driver thread, which also executes tasks - are reused across
+ * consecutive sweeps, so without the reset a plan or trace mask
+ * installed (and not torn down) by a previous sweep's task would
+ * bleed into the next one.  A fresh-process run and the Nth sweep of
+ * a long-lived process must see identical TLS.
+ */
+void resetTaskTls();
 
 /**
  * Run fn(0) ... fn(n-1) across up to @p jobs OS threads.  Indices
@@ -62,8 +76,10 @@ parallelFor(std::size_t n, unsigned jobs,
     if (n == 0)
         return;
     if (jobs <= 1 || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            resetTaskTls();
             fn(i);
+        }
         return;
     }
     const unsigned workers =
@@ -83,6 +99,7 @@ parallelFor(std::size_t n, unsigned jobs,
                 counter.next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
+            resetTaskTls();
             fn(i);
         }
     };

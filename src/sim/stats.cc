@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "sim/logging.hh"
@@ -90,7 +91,11 @@ Histogram::percentile(double p) const
     if (count_ == 0)
         return 0;
     // Clamp out-of-range requests: p <= 0 is the minimum sample,
-    // p >= 100 the maximum.
+    // p >= 100 the maximum.  NaN compares false against both bounds
+    // and would reach the float->integer cast below (UB), so it gets
+    // its own well-defined answer.
+    if (std::isnan(p))
+        return min_;
     if (p <= 0.0)
         return min_;
     if (p >= 100.0)

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <exception>
 
+#include "sim/env_util.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 
@@ -119,10 +120,18 @@ SimThread::trampoline()
     sched->threadExit();
 }
 
+bool
+envSchedLegacy()
+{
+    // FLEXTM_SCHED=legcay silently meant heap mode before the strict
+    // parse - the worst kind of A/B comparison, where both sides run
+    // the same scheduler.
+    return env::choiceOr("FLEXTM_SCHED", {"legacy", "heap"}) == 0;
+}
+
 Scheduler::Scheduler()
 {
-    const char *env = std::getenv("FLEXTM_SCHED");
-    legacy_ = env != nullptr && std::strcmp(env, "legacy") == 0;
+    legacy_ = envSchedLegacy();
 }
 
 void

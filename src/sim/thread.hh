@@ -95,6 +95,14 @@ class SimThread
 };
 
 /**
+ * FLEXTM_SCHED dispatch-core selection: true for "legacy", false for
+ * "heap" or when unset.  Any other spelling is fatal (a typo'd
+ * "legacy" used to silently select heap mode, turning scheduler A/B
+ * comparisons into A/A).
+ */
+bool envSchedLegacy();
+
+/**
  * Min-clock cooperative scheduler.  Owns all simulated threads of one
  * machine.  run() executes until every thread has finished (or the
  * optional stop predicate fires).

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "os/tx_os.hh"
+#include "sim/env_util.hh"
 #include "sim/logging.hh"
 
 namespace flextm
@@ -158,8 +159,9 @@ runFaultedExperiment(WorkloadKind wk, RuntimeKind rk,
             oracle.validate([&m](Addr a, void *out, unsigned s) {
                 m.memsys().peek(a, out, s);
             });
-        if (const char *dump = std::getenv("FLEXTM_DUMP_BYTE")) {
-            const Addr a = std::strtoull(dump, nullptr, 0);
+        if (const char *dump = env::raw("FLEXTM_DUMP_BYTE")) {
+            const Addr a = env::parseU64("FLEXTM_DUMP_BYTE", dump, 0,
+                                         UINT64_MAX, 0);
             std::fprintf(stderr, "history for 0x%llx:\n%s",
                          (unsigned long long)a,
                          oracle.historyForByte(a).c_str());

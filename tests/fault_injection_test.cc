@@ -179,15 +179,19 @@ TEST(FaultPlanDeterminism, HarnessRunsReplayExactly)
     EXPECT_EQ(a.report.checkedOps, b.report.checkedOps);
 }
 
-TEST(FaultSeedEnv, OverrideParsesAndFallsBack)
+TEST(FaultSeedEnv, OverrideParsesStrictly)
 {
     unsetenv("FLEXTM_FAULT_SEED");
     EXPECT_EQ(envFaultSeed(5), 5u);
     setenv("FLEXTM_FAULT_SEED", "123", 1);
     EXPECT_EQ(envFaultSeed(5), 123u);
+    // Base 0: failure reports print seeds in hex.
+    setenv("FLEXTM_FAULT_SEED", "0x20", 1);
+    EXPECT_EQ(envFaultSeed(5), 0x20u);
+    // Garbage no longer silently replays the fallback seed.
     setenv("FLEXTM_FAULT_SEED", "botched", 1);
-    EXPECT_EQ(envFaultSeed(5), 5u);
+    EXPECT_DEATH(envFaultSeed(5), "FLEXTM_FAULT_SEED");
     setenv("FLEXTM_FAULT_SEED", "12x", 1);
-    EXPECT_EQ(envFaultSeed(5), 5u);
+    EXPECT_DEATH(envFaultSeed(5), "FLEXTM_FAULT_SEED");
     unsetenv("FLEXTM_FAULT_SEED");
 }

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Native-vs-simulator cross-check: the same recorded Zipfian
+ * key-value trace replays through (a) the cycle simulator's TL2
+ * runtime under the serializability oracle and (b) native libflextm
+ * under the access-log checker, and both independent checkers must
+ * accept the history.  The two worlds share the TL2 algorithm core
+ * (runtime/tl2_algo.hh), so a divergence here means one world's
+ * glue - not the algorithm - broke.
+ *
+ * Final memory images are NOT compared across worlds: commit order
+ * is schedule-dependent, so the worlds legitimately serialize the
+ * same trace differently.  What must hold in both is that every
+ * transaction eventually commits exactly once and the resulting
+ * history is serializable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "native/access_log.hh"
+#include "native/tm.hh"
+#include "native/workload_trace.hh"
+#include "runtime/runtime_factory.hh"
+#include "sim/oracle.hh"
+
+namespace flextm
+{
+namespace
+{
+
+using native::AccessLog;
+using native::Backend;
+using native::TraceParams;
+using native::TraceTxn;
+using native::WorkloadTrace;
+
+std::uint64_t
+expectedCommits(const WorkloadTrace &tr)
+{
+    std::uint64_t n = 0;
+    for (const auto &stream : tr.perThread)
+        n += stream.size();
+    return n;
+}
+
+bool
+txnIsReadOnly(const TraceTxn &txn)
+{
+    for (const auto &op : txn.ops) {
+        if (op.isWrite)
+            return false;
+    }
+    return true;
+}
+
+/** Replay a trace through native libflextm on real pthreads; every
+ *  transaction retries until it commits. */
+AccessLog::Report
+runTraceNative(const WorkloadTrace &tr, Backend backend,
+               std::uint64_t *commits)
+{
+    native::shared_t sh = native::tm_create_with(
+        std::size_t{tr.words} * 8, 8, backend);
+    EXPECT_NE(sh, native::invalid_shared);
+    AccessLog log;
+    native::tm_set_logging(sh, &log);
+    auto *base = static_cast<std::uint64_t *>(native::tm_start(sh));
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < tr.threads; ++t) {
+        threads.emplace_back([&, t] {
+            for (const TraceTxn &txn : tr.perThread[t]) {
+                const bool ro = txnIsReadOnly(txn);
+            retry:
+                const native::tx_t tx = native::tm_begin(sh, ro);
+                for (const auto &op : txn.ops) {
+                    std::uint64_t v = op.value;
+                    const bool ok =
+                        op.isWrite
+                            ? native::tm_write(sh, tx, &v, 8,
+                                               &base[op.word])
+                            : native::tm_read(sh, tx,
+                                              &base[op.word], 8, &v);
+                    if (!ok)
+                        goto retry;
+                }
+                if (!native::tm_end(sh, tx))
+                    goto retry;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    native::tm_set_logging(sh, nullptr);
+    *commits = log.committedTxns();
+    const AccessLog::Report rep = log.validate();
+    native::tm_destroy(sh);
+    return rep;
+}
+
+/** Replay the same trace through the simulated TL2 runtime, checked
+ *  by the simulator's own serializability oracle. */
+TxOracle::Report
+runTraceSimTl2(const WorkloadTrace &tr, std::uint64_t *commits)
+{
+    MachineConfig cfg;
+    cfg.cores = tr.threads;
+    cfg.memoryBytes = 64u << 20;
+    Machine m(cfg);
+    TxOracle oracle;
+    oracle.setContext("native-equiv sim replay");
+    m.setOracle(&oracle);
+
+    RuntimeFactory f(m, RuntimeKind::Tl2);
+    const Addr array =
+        m.memory().allocate(std::size_t{tr.words} * 8, 64);
+
+    std::vector<std::unique_ptr<TxThread>> ts;
+    for (unsigned t = 0; t < tr.threads; ++t)
+        ts.push_back(f.makeThread(t, t));
+    for (unsigned t = 0; t < tr.threads; ++t) {
+        TxThread *tp = ts[t].get();
+        const auto *stream = &tr.perThread[t];
+        m.scheduler().spawn(t, [tp, stream, array] {
+            for (const TraceTxn &txn : *stream) {
+                tp->txn([&] {
+                    for (const auto &op : txn.ops) {
+                        const Addr a = array + Addr{op.word} * 8;
+                        if (op.isWrite)
+                            tp->store<std::uint64_t>(a, op.value);
+                        else
+                            (void)tp->load<std::uint64_t>(a);
+                    }
+                });
+            }
+        });
+    }
+    m.run();
+
+    *commits = 0;
+    for (const auto &t : ts)
+        *commits += t->commits();
+    return oracle.validate([&m](Addr a, void *out, unsigned s) {
+        m.memsys().peek(a, out, s);
+    });
+}
+
+TraceParams
+equivParams(std::uint64_t seed)
+{
+    TraceParams p;
+    p.seed = seed;
+    p.threads = 3;
+    p.words = 256;
+    p.txnsPerThread = 30;
+    p.opsPerTxn = 6;
+    p.writePct = 25;
+    p.theta = 0.8;
+    return p;
+}
+
+class NativeEquiv : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NativeEquiv, BothWorldsAcceptTheSameTrace)
+{
+    const WorkloadTrace tr = makeZipfianTrace(equivParams(GetParam()));
+    const std::uint64_t want = expectedCommits(tr);
+
+    std::uint64_t native_commits = 0;
+    const AccessLog::Report nrep =
+        runTraceNative(tr, Backend::Tl2, &native_commits);
+    EXPECT_TRUE(nrep.ok) << nrep.message;
+    EXPECT_EQ(native_commits, want);
+    EXPECT_EQ(nrep.checkedTxns, want);
+
+    std::uint64_t sim_commits = 0;
+    const TxOracle::Report srep = runTraceSimTl2(tr, &sim_commits);
+    EXPECT_TRUE(srep.ok) << srep.message;
+    EXPECT_EQ(sim_commits, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, NativeEquiv,
+                         ::testing::Values(101, 202, 303));
+
+/** The global-lock backend accepts the trace too (trivially serial,
+ *  but it exercises the GL ticket-stamp path of the checker). */
+TEST(NativeEquivGl, GlobalLockAcceptsTrace)
+{
+    const WorkloadTrace tr = makeZipfianTrace(equivParams(404));
+    std::uint64_t commits = 0;
+    const AccessLog::Report rep =
+        runTraceNative(tr, Backend::GlobalLock, &commits);
+    EXPECT_TRUE(rep.ok) << rep.message;
+    EXPECT_EQ(commits, expectedCommits(tr));
+}
+
+} // anonymous namespace
+} // namespace flextm

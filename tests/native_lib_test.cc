@@ -1,0 +1,371 @@
+/**
+ * @file
+ * libflextm unit tests: region lifecycle, the CS-453 retry contract,
+ * TL2 opacity under real cross-thread conflicts, backend selection,
+ * and the access-log checker itself (it must reject a cooked
+ * non-serializable history, or its green runs mean nothing).
+ *
+ * Everything here is pure native code - no simulator fibers - so the
+ * suite also runs under the tsan preset (label nativetsan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "native/access_log.hh"
+#include "native/tm.hh"
+
+namespace flextm::native
+{
+namespace
+{
+
+/** RAII env var that always restores the pre-test state. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_;
+    std::string old_;
+};
+
+/** Run @p body as a transaction, retrying on abort until it commits.
+ *  @p body returns false when a tm_read/tm_write already aborted the
+ *  attempt (per the API contract, tm_end is then NOT called). */
+template <typename Fn>
+void
+runTxn(shared_t sh, bool ro, Fn &&body)
+{
+    for (;;) {
+        tx_t tx = tm_begin(sh, ro);
+        if (!body(tx))
+            continue;
+        if (tm_end(sh, tx))
+            return;
+    }
+}
+
+std::uint64_t
+readWord(shared_t sh, tx_t tx, std::uint64_t *w, bool *ok)
+{
+    std::uint64_t v = 0;
+    *ok = tm_read(sh, tx, w, sizeof v, &v);
+    return v;
+}
+
+class NativeLib : public ::testing::TestWithParam<Backend>
+{
+};
+
+TEST(NativeLibCreate, RejectsBadArguments)
+{
+    EXPECT_EQ(tm_create_with(0, 8, Backend::Tl2), invalid_shared);
+    EXPECT_EQ(tm_create_with(64, 0, Backend::Tl2), invalid_shared);
+    // Non-power-of-two alignment.
+    EXPECT_EQ(tm_create_with(66, 3, Backend::Tl2), invalid_shared);
+    // Size not a multiple of the alignment.
+    EXPECT_EQ(tm_create_with(60, 8, Backend::Tl2), invalid_shared);
+}
+
+TEST(NativeLibCreate, BackendComesFromEnv)
+{
+    ScopedEnv e("FLEXTM_NATIVE_BACKEND", nullptr);
+    shared_t sh = tm_create(64, 8);
+    ASSERT_NE(sh, invalid_shared);
+    EXPECT_EQ(tm_backend(sh), Backend::Tl2);
+    tm_destroy(sh);
+
+    setenv("FLEXTM_NATIVE_BACKEND", "gl", 1);
+    sh = tm_create(64, 8);
+    ASSERT_NE(sh, invalid_shared);
+    EXPECT_EQ(tm_backend(sh), Backend::GlobalLock);
+    tm_destroy(sh);
+
+    setenv("FLEXTM_NATIVE_BACKEND", "tl2", 1);
+    sh = tm_create(64, 8);
+    ASSERT_NE(sh, invalid_shared);
+    EXPECT_EQ(tm_backend(sh), Backend::Tl2);
+    tm_destroy(sh);
+}
+
+TEST(NativeLibCreateDeath, GarbageBackendIsFatal)
+{
+    ScopedEnv e("FLEXTM_NATIVE_BACKEND", "glx");
+    EXPECT_DEATH(tm_create(64, 8), "FLEXTM_NATIVE_BACKEND");
+}
+
+TEST_P(NativeLib, RegionStartsZeroedAndCommitsStick)
+{
+    shared_t sh = tm_create_with(1024, 8, GetParam());
+    ASSERT_NE(sh, invalid_shared);
+    EXPECT_EQ(tm_size(sh), 1024u);
+    EXPECT_EQ(tm_align(sh), 8u);
+    auto *words = static_cast<std::uint64_t *>(tm_start(sh));
+    ASSERT_NE(words, nullptr);
+
+    runTxn(sh, false, [&](tx_t tx) {
+        bool ok;
+        if (readWord(sh, tx, &words[0], &ok) != 0 && ok)
+            ADD_FAILURE() << "fresh region not zeroed";
+        if (!ok)
+            return false;
+        const std::uint64_t v = 42;
+        if (!tm_write(sh, tx, &v, sizeof v, &words[0]))
+            return false;
+        // Write-set hit: the transaction must see its own write.
+        const std::uint64_t back = readWord(sh, tx, &words[0], &ok);
+        if (ok && back != 42)
+            ADD_FAILURE() << "own write invisible: " << back;
+        return ok;
+    });
+
+    // A later read-only transaction sees the committed value.
+    runTxn(sh, true, [&](tx_t tx) {
+        bool ok;
+        const std::uint64_t v = readWord(sh, tx, &words[0], &ok);
+        if (ok)
+            EXPECT_EQ(v, 42u);
+        return ok;
+    });
+
+    tm_destroy(sh);
+}
+
+TEST_P(NativeLib, SubWordAlignmentChunksAccesses)
+{
+    shared_t sh = tm_create_with(64, 2, GetParam());
+    ASSERT_NE(sh, invalid_shared);
+    auto *base = static_cast<std::uint16_t *>(tm_start(sh));
+
+    const std::uint16_t in[4] = {11, 22, 33, 44};
+    runTxn(sh, false, [&](tx_t tx) {
+        return tm_write(sh, tx, in, sizeof in, base);
+    });
+    std::uint16_t out[4] = {};
+    runTxn(sh, true, [&](tx_t tx) {
+        return tm_read(sh, tx, base, sizeof out, out);
+    });
+    EXPECT_EQ(std::memcmp(in, out, sizeof in), 0);
+
+    tm_destroy(sh);
+}
+
+TEST_P(NativeLib, AllocatedSegmentsAreZeroedAndWritable)
+{
+    shared_t sh = tm_create_with(64, 8, GetParam());
+    ASSERT_NE(sh, invalid_shared);
+
+    void *seg = nullptr;
+    runTxn(sh, false, [&](tx_t tx) {
+        if (tm_alloc(sh, tx, 128, &seg) != Alloc::success) {
+            ADD_FAILURE() << "tm_alloc failed";
+            return true;
+        }
+        auto *w = static_cast<std::uint64_t *>(seg);
+        bool ok;
+        if (readWord(sh, tx, &w[3], &ok) != 0 && ok)
+            ADD_FAILURE() << "fresh segment not zeroed";
+        if (!ok)
+            return false;
+        const std::uint64_t v = 7;
+        return tm_write(sh, tx, &v, sizeof v, &w[3]);
+    });
+    ASSERT_NE(seg, nullptr);
+
+    runTxn(sh, false, [&](tx_t tx) {
+        auto *w = static_cast<std::uint64_t *>(seg);
+        bool ok;
+        const std::uint64_t v = readWord(sh, tx, &w[3], &ok);
+        if (ok)
+            EXPECT_EQ(v, 7u);
+        if (!ok)
+            return false;
+        // Free is deferred to tm_destroy; the call itself commits.
+        return tm_free(sh, tx, seg);
+    });
+
+    tm_destroy(sh);
+}
+
+/** The TL2 opacity core: a reader whose snapshot a committed writer
+ *  has invalidated gets `false` from tm_read, never a mixed view. */
+TEST(NativeLibTl2, StaleSnapshotReadAborts)
+{
+    shared_t sh = tm_create_with(1024, 8, Backend::Tl2);
+    ASSERT_NE(sh, invalid_shared);
+    auto *words = static_cast<std::uint64_t *>(tm_start(sh));
+
+    tx_t reader = tm_begin(sh, true);
+    bool ok;
+    EXPECT_EQ(readWord(sh, reader, &words[0], &ok), 0u);
+    ASSERT_TRUE(ok);
+
+    // Another thread commits a write to words[1] (bumping the clock
+    // past the reader's snapshot).
+    std::thread writer([&] {
+        runTxn(sh, false, [&](tx_t tx) {
+            const std::uint64_t v = 99;
+            return tm_write(sh, tx, &v, sizeof v, &words[1]);
+        });
+    });
+    writer.join();
+
+    // The reader's snapshot can no longer cover words[1]: the read
+    // must abort (returning false kills the transaction; tm_end is
+    // not called).
+    EXPECT_FALSE(tm_read(sh, reader, &words[1], 8, &ok));
+
+    // The thread can start fresh and see the committed value.
+    runTxn(sh, true, [&](tx_t tx) {
+        bool rok;
+        const std::uint64_t v = readWord(sh, tx, &words[1], &rok);
+        if (rok)
+            EXPECT_EQ(v, 99u);
+        return rok;
+    });
+
+    tm_destroy(sh);
+}
+
+TEST_P(NativeLib, ConcurrentCountersAreExactAndSerializable)
+{
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kIncrements = 2000;
+
+    shared_t sh = tm_create_with(1024, 8, GetParam());
+    ASSERT_NE(sh, invalid_shared);
+    auto *words = static_cast<std::uint64_t *>(tm_start(sh));
+
+    AccessLog log;
+    tm_set_logging(sh, &log);
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned i = 0; i < kIncrements; ++i) {
+                runTxn(sh, false, [&](tx_t tx) {
+                    // Two counters: the shared hot one and a
+                    // per-thread one, so transactions have both
+                    // conflicting and private footprints.
+                    bool ok;
+                    std::uint64_t hot =
+                        readWord(sh, tx, &words[0], &ok);
+                    if (!ok)
+                        return false;
+                    ++hot;
+                    if (!tm_write(sh, tx, &hot, sizeof hot, &words[0]))
+                        return false;
+                    std::uint64_t mine =
+                        readWord(sh, tx, &words[8 + t], &ok);
+                    if (!ok)
+                        return false;
+                    ++mine;
+                    return tm_write(sh, tx, &mine, sizeof mine,
+                                    &words[8 + t]);
+                });
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    tm_set_logging(sh, nullptr);
+
+    runTxn(sh, true, [&](tx_t tx) {
+        bool ok;
+        const std::uint64_t total = readWord(sh, tx, &words[0], &ok);
+        if (ok)
+            EXPECT_EQ(total, std::uint64_t{kThreads} * kIncrements);
+        for (unsigned t = 0; ok && t < kThreads; ++t) {
+            const std::uint64_t mine =
+                readWord(sh, tx, &words[8 + t], &ok);
+            if (ok)
+                EXPECT_EQ(mine, kIncrements) << "thread " << t;
+        }
+        return ok;
+    });
+
+    EXPECT_EQ(log.committedTxns(),
+              std::uint64_t{kThreads} * kIncrements);
+    const AccessLog::Report rep = log.validate();
+    EXPECT_TRUE(rep.ok) << rep.message;
+    EXPECT_EQ(rep.checkedTxns, std::uint64_t{kThreads} * kIncrements);
+    EXPECT_GT(rep.checkedOps, 0u);
+
+    tm_destroy(sh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, NativeLib,
+                         ::testing::Values(Backend::Tl2,
+                                           Backend::GlobalLock),
+                         [](const auto &info) {
+                             return info.param == Backend::Tl2
+                                        ? "Tl2"
+                                        : "GlobalLock";
+                         });
+
+/** The checker itself must catch a cooked non-serializable history -
+ *  otherwise every green validate() above is vacuous. */
+TEST(NativeAccessLog, RejectsReadOfNeverWrittenValue)
+{
+    AccessLog log;
+    log.commitTxn(2, false,
+                  {AccessLog::Op{true, 0x1000, 5, 8}});
+    log.commitTxn(4, true,
+                  {AccessLog::Op{false, 0x1000, 7, 8}});
+    const AccessLog::Report rep = log.validate();
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.message.find("0x1000"), std::string::npos)
+        << rep.message;
+}
+
+TEST(NativeAccessLog, WritersSortBeforeReadersOnStampTies)
+{
+    // A read-only transaction stamped rv == some writer's wv began
+    // after that writer committed, so it must replay after it.
+    AccessLog log;
+    log.commitTxn(6, true,
+                  {AccessLog::Op{false, 0x2000, 3, 8}});
+    log.commitTxn(6, false,
+                  {AccessLog::Op{true, 0x2000, 3, 8}});
+    const AccessLog::Report rep = log.validate();
+    EXPECT_TRUE(rep.ok) << rep.message;
+    EXPECT_EQ(rep.checkedTxns, 2u);
+}
+
+TEST(NativeAccessLog, AcceptsEmptyAndSeedsShadowAtZero)
+{
+    AccessLog log;
+    EXPECT_TRUE(log.validate().ok);
+    log.commitTxn(2, true,
+                  {AccessLog::Op{false, 0x3000, 0, 8}});
+    const AccessLog::Report rep = log.validate();
+    EXPECT_TRUE(rep.ok) << rep.message;
+}
+
+} // anonymous namespace
+} // namespace flextm::native

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "sim/rng.hh"
@@ -241,6 +242,33 @@ TEST(HistogramTest, PercentileSingleSample)
     EXPECT_EQ(h.percentile(0.0), 4u);
     EXPECT_EQ(h.percentile(50.0), 4u);
     EXPECT_EQ(h.percentile(100.0), 4u);
+}
+
+TEST(HistogramTest, PercentileNanIsDefined)
+{
+    // NaN compares false against both clamp bounds; without its own
+    // branch it would reach the float->integer cast (UB).  It
+    // answers like p = 0.
+    Histogram h;
+    EXPECT_EQ(h.percentile(std::nan("")), 0u);
+    h.add(3);
+    h.add(8);
+    EXPECT_EQ(h.percentile(std::nan("")), 3u);
+}
+
+TEST(HistogramTest, PercentileOverflowBucketsOnly)
+{
+    // Every sample lands above kExact: percentiles come from the
+    // overflow buckets' means, and p = 100 is the true maximum.
+    Histogram h;
+    h.add(1000);
+    h.add(1000);
+    h.add(100000);
+    EXPECT_EQ(h.min(), 1000u);
+    EXPECT_EQ(h.max(), 100000u);
+    EXPECT_EQ(h.percentile(0.0), 1000u);
+    EXPECT_EQ(h.percentile(50.0), 1000u);
+    EXPECT_EQ(h.percentile(100.0), 100000u);
 }
 
 TEST(StatRegistryTest, CountersIndependent)
